@@ -1,0 +1,20 @@
+"""Figure 3: % of tiles affected by test-logic introduction.
+
+Paper reference: staircase curves per design; with ten tiles and 20 %
+slack, s9234 (47 CLBs of slack) saturates to 100 % around 50 CLBs of
+new logic while DES (210 CLBs of slack) stays near 50 % at 100 CLBs.
+"""
+
+from repro.analysis import format_figure3, run_figure3
+
+
+def test_figure3(benchmark, suite):
+    series = benchmark.pedantic(
+        lambda: run_figure3(suite=suite), rounds=1, iterations=1
+    )
+    print("\n== Figure 3: Tiles Affected by Logic Introduction ==")
+    print(format_figure3(series))
+    for s in series:
+        assert all(
+            b >= a - 1e-9 for a, b in zip(s.pct_affected, s.pct_affected[1:])
+        ), f"{s.design} curve must be monotone"

@@ -1,0 +1,19 @@
+"""Figure 4: maximum test-logic size per test point.
+
+Paper reference: hyperbolic decay from ~20 CLBs (largest design, one
+test point) toward zero as 100 test points split the per-tile slack.
+"""
+
+from repro.analysis import format_figure4, run_figure4
+
+
+def test_figure4(benchmark, suite):
+    series = benchmark.pedantic(
+        lambda: run_figure4(suite=suite), rounds=1, iterations=1
+    )
+    print("\n== Figure 4: Maximum Test Logic Size ==")
+    print(format_figure4(series))
+    for s in series:
+        assert all(b <= a for a, b in zip(s.max_logic, s.max_logic[1:])), (
+            f"{s.design} budget must decay with test points"
+        )

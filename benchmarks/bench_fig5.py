@@ -1,0 +1,37 @@
+"""Figure 5: place-and-route speedup vs tile size.
+
+Paper reference: at 2.5 % tiles DES 2.8x, MIPS 5.6x, s9234 17.0x; the
+average (median) speedup falls from 7.6 (2.6) at 5 % tiles to 1.5 (1.3)
+at 25 % tiles; small designs cannot be tiled at 2.5 %.
+"""
+
+from repro.analysis import format_figure5, run_figure5
+from repro.analysis.experiments import fig5_aggregate
+
+
+def test_figure5(benchmark, suite):
+    rows = benchmark.pedantic(
+        lambda: run_figure5(suite=suite), rounds=1, iterations=1
+    )
+    print("\n== Figure 5: Place-and-Route Speedup (vs Quick_ECO) ==")
+    print(format_figure5(rows))
+    print("\nper-design detail (work units):")
+    for r in rows:
+        if r.feasible:
+            print(
+                f"  {r.design:>8} @{r.tile_fraction * 100:4.1f}%: "
+                f"tiled={r.tiled_work:9.0f}  quick_eco={r.quick_eco_work:9.0f}  "
+                f"incremental={r.incremental_work:9.0f}  "
+                f"speedup_qe={r.speedup_vs_quick_eco:5.1f}x  "
+                f"speedup_inc={r.speedup_vs_incremental:5.1f}x"
+            )
+
+    feasible = [r for r in rows if r.feasible]
+    assert feasible
+    # tiling always wins against whole-block re-P&R
+    assert all(r.speedup_vs_quick_eco > 1.0 for r in feasible)
+    # speedup decays from finest to coarsest tiles (paper's headline)
+    agg = fig5_aggregate(rows)
+    fractions = sorted(agg)
+    if len(fractions) >= 2:
+        assert agg[fractions[0]]["mean"] >= agg[fractions[-1]]["mean"]

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Sweep tile granularity on one design (a single-design Figure 5).
+
+Fine tiles make each debugging commit cheap but add more locked
+interfaces (more inter-tile nets, potentially worse timing); coarse
+tiles approach whole-design re-place-and-route.  This example sweeps
+the spectrum on s9234 and prints the trade-off table the paper's §3.2
+describes qualitatively.
+
+Run:  python examples/tile_size_tradeoff.py
+"""
+
+from repro.analysis.experiments import (
+    ExperimentConfig,
+    ExperimentSuite,
+    _measure_single_tile_change,
+    _pick_change_instance,
+)
+from repro.errors import TilingError
+from repro.pnr.effort import EFFORT_PRESETS, EffortMeter
+from repro.pnr.flow import full_place_and_route
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        designs=["s9234"], preset=EFFORT_PRESETS["fast"], seed=2
+    )
+    suite = ExperimentSuite(config)
+    ctx = suite.context("s9234")
+    print(f"s9234: {ctx.bundle.n_clbs} CLBs on {ctx.device.name}\n")
+
+    baseline = EffortMeter()
+    full_place_and_route(
+        ctx.bundle.packed, ctx.device, seed=9,
+        preset=config.preset, meter=baseline, strict_routing=False,
+    )
+
+    header = (
+        f"{'tiles':>6} {'tile CLBs':>10} {'cut nets':>9} "
+        f"{'timing ns':>10} {'commit work':>12} {'speedup':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for n_tiles in (40, 20, 10, 7, 4, 2):
+        try:
+            tiled = ctx.tiled(n_tiles)
+        except TilingError as exc:
+            print(f"{n_tiles:>6} {'n/a':>10}  ({exc})")
+            continue
+        stats = tiled.stats()
+        target = _pick_change_instance(ctx)
+        effort = _measure_single_tile_change(ctx, tiled, target, seed=n_tiles)
+        print(
+            f"{n_tiles:>6} {stats.total_used / n_tiles:>10.1f} "
+            f"{stats.inter_tile_nets:>9} "
+            f"{tiled.layout.critical_path():>10.1f} "
+            f"{effort.work_units:>12.0f} "
+            f"{baseline.work_units / effort.work_units:>7.1f}x"
+        )
+
+    print(f"\nwhole-design re-P&R baseline: {baseline.work_units:.0f} work units")
+    print("finer tiles -> cheaper commits, more locked interfaces")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""ASCII rendering of experiment results in the paper's shape."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import (
+    Figure3Series,
+    Figure4Series,
+    Figure5Row,
+    Table1Row,
+    fig5_aggregate,
+)
+from repro.generators.registry import DISPLAY_NAMES
+
+
+def _display(name: str) -> str:
+    return DISPLAY_NAMES.get(name, name)
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    """Table 1: tiled physical layout statistics."""
+    header = (
+        f"{'design':<12} {'#CLBs':>6} {'paper':>6} "
+        f"{'area ovh':>9} {'timing ovh':>11} {'tiles':>6} {'cut nets':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{_display(r.design):<12} {r.n_clbs:>6} {r.paper_clbs:>6} "
+            f"{r.area_overhead:>9.3f} {r.timing_overhead:>+11.3f} "
+            f"{r.n_tiles:>6} {r.inter_tile_nets:>9}"
+        )
+    return "\n".join(lines)
+
+
+def format_figure3(series: list[Figure3Series]) -> str:
+    """Figure 3: % affected tiles vs size of new logic (# CLBs)."""
+    if not series:
+        return "(no data)"
+    sizes = series[0].logic_sizes
+    header = f"{'size of new logic':<18}" + "".join(
+        f"{s:>7}" for s in sizes
+    )
+    lines = [header, "-" * len(header)]
+    for s in series:
+        lines.append(
+            f"{_display(s.design):<18}"
+            + "".join(f"{p:>6.0f}%" for p in s.pct_affected)
+        )
+    return "\n".join(lines)
+
+
+def format_figure4(series: list[Figure4Series]) -> str:
+    """Figure 4: max test-logic size (# CLBs) vs # test points."""
+    if not series:
+        return "(no data)"
+    points = series[0].test_points
+    header = f"{'# test points':<18}" + "".join(f"{p:>7}" for p in points)
+    lines = [header, "-" * len(header)]
+    for s in series:
+        lines.append(
+            f"{_display(s.design):<18}"
+            + "".join(f"{b:>7}" for b in s.max_logic)
+        )
+    return "\n".join(lines)
+
+
+def format_figure5(rows: list[Figure5Row]) -> str:
+    """Figure 5: P&R speedup (vs Quick_ECO) per tile size."""
+    fractions = sorted({r.tile_fraction for r in rows})
+    designs: list[str] = []
+    for r in rows:
+        if r.design not in designs:
+            designs.append(r.design)
+    header = f"{'tile size (% total)':<18}" + "".join(
+        f"{f * 100:>8.1f}" for f in fractions
+    )
+    lines = [header, "-" * len(header)]
+    by_key = {(r.design, r.tile_fraction): r for r in rows}
+    for d in designs:
+        cells = []
+        for f in fractions:
+            r = by_key.get((d, f))
+            if r is None or not r.feasible:
+                cells.append(f"{'n/a':>8}")
+            else:
+                cells.append(f"{r.speedup_vs_quick_eco:>8.1f}")
+        lines.append(f"{_display(d):<18}" + "".join(cells))
+
+    summary = fig5_aggregate(rows)
+    lines.append("-" * len(header))
+    mean_cells, median_cells = [], []
+    for f in fractions:
+        agg = summary.get(f)
+        mean_cells.append(f"{agg['mean']:>8.1f}" if agg else f"{'n/a':>8}")
+        median_cells.append(f"{agg['median']:>8.1f}" if agg else f"{'n/a':>8}")
+    lines.append(f"{'average':<18}" + "".join(mean_cells))
+    lines.append(f"{'median':<18}" + "".join(median_cells))
+    return "\n".join(lines)

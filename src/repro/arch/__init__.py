@@ -1,0 +1,21 @@
+"""FPGA architecture model (Xilinx XC4000-style CLB grid).
+
+* :mod:`repro.arch.device` — family table, device selection, grid and
+  IOB-ring geometry, channel capacities.
+"""
+
+from repro.arch.device import (
+    Device,
+    DeviceSpec,
+    XC4000_FAMILY,
+    custom_device,
+    pick_device,
+)
+
+__all__ = [
+    "Device",
+    "DeviceSpec",
+    "XC4000_FAMILY",
+    "custom_device",
+    "pick_device",
+]

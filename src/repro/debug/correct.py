@@ -1,0 +1,42 @@
+"""Error correction (paper steps 11-13).
+
+The designer fixes the bug at the HDL level; back-annotation carries the
+fix down to the mapped netlist as the inverse of the injected error.
+:func:`apply_correction` replays that inverse and returns the
+:class:`ChangeSet` whose commit (tile-confined re-place-and-route) is
+what the paper's Figure 5 measures.
+"""
+
+from __future__ import annotations
+
+from repro.debug.errors import ErrorRecord
+from repro.errors import DebugFlowError
+from repro.netlist.core import Netlist
+from repro.tiling.eco import ChangeRecorder, ChangeSet
+
+
+def apply_correction(
+    netlist: Netlist, record: ErrorRecord
+) -> ChangeSet:
+    """Undo the injected error; returns the netlist delta."""
+    inst = netlist.instance(record.instance)
+    with ChangeRecorder(netlist, f"fix {record.kind} @ {record.instance}") as rec:
+        if record.kind in ("table_bit", "wrong_function", "output_invert"):
+            inst.params = {"table": record.undo["table"]}
+        elif record.kind == "input_swap":
+            a, b = record.undo["pins"]
+            net_a, net_b = inst.inputs[a], inst.inputs[b]
+            netlist.set_input(inst, a, net_b)
+            netlist.set_input(inst, b, net_a)
+        elif record.kind == "wrong_source":
+            pin = record.undo["pin"]
+            netlist.set_input(inst, pin, netlist.net(record.undo["old_net"]))
+        else:
+            raise DebugFlowError(f"no corrector for error kind {record.kind!r}")
+    changes = rec.changes
+    assert changes is not None
+    if record.kind in ("table_bit", "wrong_function", "output_invert"):
+        # a pure params change is connectivity-invisible to the recorder
+        # only if the table happened to match; make the touch explicit
+        changes.changed_instances.add(record.instance)
+    return changes

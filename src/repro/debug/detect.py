@@ -1,0 +1,81 @@
+"""Error detection: golden-model vs emulation comparison (step 21).
+
+Detection compares the DUT's emulated outputs with the golden reference
+cycle by cycle and pattern by pattern.  The result is a list of
+:class:`Mismatch` records — which output, which cycle, which patterns —
+the raw material localization works from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.emu.emulator import Emulator
+from repro.netlist.core import Netlist
+from repro.netlist.simulate import SequentialSimulator
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One diverging primary output."""
+
+    cycle: int
+    output: str
+    diff_mask: int  # bit i set = pattern i diverged
+
+    @property
+    def n_patterns_failing(self) -> int:
+        return bin(self.diff_mask).count("1")
+
+
+def compare_runs(
+    dut_outputs: list[dict[str, int]],
+    golden_outputs: list[dict[str, int]],
+) -> list[Mismatch]:
+    """Mismatches between two per-cycle output streams.
+
+    Outputs present on only one side (e.g. DUT-side observation flags)
+    are ignored — detection judges the *functional* interface.
+    """
+    mismatches: list[Mismatch] = []
+    for cycle, (dut, gold) in enumerate(zip(dut_outputs, golden_outputs)):
+        for name in sorted(dut.keys() & gold.keys()):
+            diff = dut[name] ^ gold[name]
+            if diff:
+                mismatches.append(Mismatch(cycle, name, diff))
+    return mismatches
+
+
+def detect_on_layout(
+    layout,
+    golden: Netlist,
+    stimulus: list[dict[str, int]],
+    n_patterns: int,
+) -> list[Mismatch]:
+    """Emulate the layout against the golden netlist on ``stimulus``.
+
+    The golden model may lack the DUT's instrumentation inputs; control
+    inputs default to 0 (disabled) on the DUT side when missing from
+    the stimulus, and observation outputs are excluded by
+    :func:`compare_runs`.
+    """
+    emulator = Emulator(layout)
+    golden_sim = SequentialSimulator(golden)
+    golden_sim.reset(n_patterns)
+    emulator.reset(n_patterns)
+
+    dut_names = {
+        pi.name.split(":", 1)[-1] for pi in layout.packed.netlist.primary_inputs()
+    }
+    golden_names = {
+        pi.name.split(":", 1)[-1] for pi in golden.primary_inputs()
+    }
+
+    dut_out: list[dict[str, int]] = []
+    gold_out: list[dict[str, int]] = []
+    for cycle_in in stimulus:
+        dut_in = {name: cycle_in.get(name, 0) for name in dut_names}
+        gold_in = {name: cycle_in.get(name, 0) for name in golden_names}
+        dut_out.append(emulator.step(dut_in, n_patterns))
+        gold_out.append(golden_sim.step(gold_in, n_patterns))
+    return compare_runs(dut_out, gold_out)

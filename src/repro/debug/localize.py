@@ -1,0 +1,200 @@
+"""Error localization by cone bisection over observation points.
+
+The paper's loop: observation logic is inserted where the designer
+suspects trouble, the design is re-emulated, and the flag tells whether
+the error lies upstream.  The localizer mechanizes the designer:
+
+1. seed the candidate set with the intersection of the sequential
+   fanin cones of every failing output (the error must corrupt each);
+2. repeatedly pick the probe net whose cone splits the candidates most
+   evenly, insert an observation point (one tile-confined commit —
+   *this* is the CAD cost the paper attacks), re-emulate, and keep
+   either the probe's cone or its complement;
+3. stop when the candidates fit the goal size or probes run out.
+
+The comparison is heuristic in the presence of reconvergent masking: a
+probe matching the golden value removes its cone even though an
+upstream error might be masked there.  Wide pattern words (default 64)
+make that unlikely; the debug session re-runs localization if the fix
+verdict disagrees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.debug.detect import Mismatch, compare_runs
+from repro.debug.instrument import add_observation_point
+from repro.debug.strategies import BaseStrategy
+from repro.emu.emulator import Emulator
+from repro.errors import DebugFlowError
+from repro.netlist.core import Netlist
+from repro.netlist.simulate import CombinationalSimulator
+
+
+@dataclass
+class ProbeStep:
+    """One localization probe and its verdict."""
+
+    probe_instance: str
+    mismatch: bool
+    candidates_before: int
+    candidates_after: int
+
+
+@dataclass
+class LocalizationResult:
+    candidates: set[str]
+    steps: list[ProbeStep] = field(default_factory=list)
+
+    @property
+    def n_probes(self) -> int:
+        return len(self.steps)
+
+
+class ConeLocalizer:
+    """Drives observation-point bisection on top of a strategy."""
+
+    def __init__(
+        self,
+        strategy: BaseStrategy,
+        golden: Netlist,
+        stimulus: list[dict[str, int]],
+        n_patterns: int,
+        goal_size: int = 4,
+    ) -> None:
+        self.strategy = strategy
+        self.golden = golden
+        self.stimulus = stimulus
+        self.n_patterns = n_patterns
+        self.goal_size = goal_size
+        self._golden_nets = self._golden_net_history()
+
+    # ------------------------------------------------------------------
+
+    def _golden_net_history(self) -> list[dict[str, int]]:
+        """Golden value of every net, per cycle (for probe comparison)."""
+        comb = CombinationalSimulator(self.golden)
+        state = {
+            ff.name: 0 if not ff.params.get("init", 0)
+            else (1 << self.n_patterns) - 1
+            for ff in self.golden.flip_flops()
+        }
+        names = {
+            pi.name.split(":", 1)[-1] for pi in self.golden.primary_inputs()
+        }
+        history = []
+        for cycle_in in self.stimulus:
+            inputs = {name: cycle_in.get(name, 0) for name in names}
+            values = comb.probe(inputs, self.n_patterns, state)
+            history.append(values)
+            _, state = comb.next_state(inputs, self.n_patterns, state)
+        return history
+
+    def seed_candidates(self, mismatches: list[Mismatch]) -> set[str]:
+        """Intersection of the failing outputs' sequential fanin cones."""
+        if not mismatches:
+            raise DebugFlowError("cannot localize without a failing output")
+        netlist = self.strategy.packed.netlist
+        po_by_name = {
+            po.name.split(":", 1)[-1]: po for po in netlist.primary_outputs()
+        }
+        candidates: set[str] | None = None
+        for name in sorted({m.output for m in mismatches}):
+            po = po_by_name.get(name)
+            if po is None:
+                continue
+            cone = netlist.fanin_cone([po], stop_at_ffs=False)
+            candidates = cone if candidates is None else candidates & cone
+        if not candidates:
+            raise DebugFlowError("failing outputs have no common cone")
+        return {
+            n for n in candidates
+            if netlist.has_instance(n) and not netlist.instance(n).is_io
+        }
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self, mismatches: list[Mismatch], max_probes: int = 8
+    ) -> LocalizationResult:
+        candidates = self.seed_candidates(mismatches)
+        result = LocalizationResult(candidates=candidates)
+        netlist = self.strategy.packed.netlist
+
+        for probe_no in range(max_probes):
+            if len(candidates) <= self.goal_size:
+                break
+            probe = self._pick_probe(netlist, candidates)
+            if probe is None:
+                break
+            probe_inst = netlist.instance(probe)
+            probe_net = probe_inst.output.name
+
+            changes, _ = add_observation_point(
+                netlist, [probe_net], f"loc{probe_no}", sticky=False
+            )
+            self.strategy.commit(changes, anchor_instance=probe)
+
+            mismatch = self._probe_disagrees(probe_net, f"loc{probe_no}")
+            cone = netlist.fanin_cone([probe_inst], stop_at_ffs=False)
+            before = len(candidates)
+            if mismatch:
+                candidates &= cone
+                candidates.add(probe)
+            else:
+                candidates -= (cone | {probe})
+            result.steps.append(
+                ProbeStep(probe, mismatch, before, len(candidates))
+            )
+            if not candidates:
+                raise DebugFlowError(
+                    "localization eliminated every candidate "
+                    "(reconvergent masking); rerun with more patterns"
+                )
+        result.candidates = candidates
+        return result
+
+    def _pick_probe(
+        self, netlist: Netlist, candidates: set[str]
+    ) -> str | None:
+        """Candidate whose cone splits the candidate set most evenly."""
+        target = len(candidates) / 2
+        best_name, best_score = None, None
+        for name in sorted(candidates):
+            inst = netlist.instance(name)
+            if inst.output is None:
+                continue
+            cone_size = len(
+                netlist.fanin_cone([inst], stop_at_ffs=False) & candidates
+            )
+            score = abs(cone_size - target)
+            # degenerate splits teach nothing
+            if cone_size in (0, len(candidates)):
+                continue
+            if best_score is None or score < best_score:
+                best_name, best_score = name, score
+        if best_name is None:
+            # all cones degenerate: fall back to any candidate
+            ordered = sorted(candidates)
+            return ordered[len(ordered) // 2] if ordered else None
+        return best_name
+
+    def _probe_disagrees(self, probe_net: str, obs_name: str) -> bool:
+        """Emulate and compare the probe output to the golden net value."""
+        emulator = Emulator(self.strategy.layout)
+        emulator.reset(self.n_patterns)
+        netlist = self.strategy.packed.netlist
+        input_names = {
+            pi.name.split(":", 1)[-1] for pi in netlist.primary_inputs()
+        }
+        for cycle, cycle_in in enumerate(self.stimulus):
+            inputs = {name: cycle_in.get(name, 0) for name in input_names}
+            outputs = emulator.step(inputs, self.n_patterns)
+            probe_value = outputs.get(f"obs_probe_{obs_name}")
+            golden_value = self._golden_nets[cycle].get(probe_net)
+            if probe_value is None or golden_value is None:
+                continue
+            if probe_value != golden_value:
+                return True
+        return False

@@ -1,0 +1,207 @@
+"""The emulation debug loop — the paper's pseudo-code, steps 1-22.
+
+:class:`EmulationDebugSession` drives a complete campaign against one
+injected design error:
+
+====  ===========================================================
+step  implementation
+====  ===========================================================
+1-2   generator + mapper + packer, then the initial P&R
+3     emulate on random stimulus vs the golden model
+4-8   (tiled strategy) re-place with slack, boundaries, lock
+10    test-pattern generation
+16-19 localization probes: observation points, committed one by one
+11-15 the correction, traced to the netlist and committed
+20    every commit re-places-and-routes only what its strategy needs
+21    emulate again; the fix must clear all mismatches
+====  ===========================================================
+
+The session charges *every* physical-design change (instrumentation and
+correction alike) to its strategy's effort meter, which is exactly the
+comparison Figure 5 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.device import Device, pick_device
+from repro.debug.correct import apply_correction
+from repro.debug.detect import Mismatch, detect_on_layout
+from repro.debug.errors import ErrorRecord, inject_error
+from repro.debug.localize import ConeLocalizer, LocalizationResult
+from repro.debug.strategies import BaseStrategy, make_strategy
+from repro.debug.testgen import random_stimulus
+from repro.errors import DebugFlowError
+from repro.netlist.core import Netlist
+from repro.netlist.validate import check_netlist
+from repro.pnr.effort import EffortMeter, EffortPreset, EFFORT_PRESETS
+from repro.synth.pack import PackedDesign, refresh_block_nets
+from repro.tiling.partition import TilingOptions
+
+
+@dataclass
+class DebugReport:
+    """Outcome of one debug campaign."""
+
+    design: str
+    strategy: str
+    error: ErrorRecord
+    detected: bool
+    localization: LocalizationResult | None
+    localized_correctly: bool
+    fixed: bool
+    n_commits: int
+    total_effort: EffortMeter
+    initial_effort: EffortMeter
+    notes: list[str] = field(default_factory=list)
+
+
+class EmulationDebugSession:
+    """One design, one strategy, one error — run the loop end to end."""
+
+    def __init__(
+        self,
+        packed: PackedDesign,
+        device: Device | None = None,
+        strategy: str = "tiled",
+        tiling: TilingOptions | None = None,
+        seed: int = 1,
+        preset: EffortPreset | None = None,
+        n_patterns: int = 64,
+        n_cycles: int = 8,
+    ) -> None:
+        self.packed = packed
+        self.preset = preset or EFFORT_PRESETS["normal"]
+        self.seed = seed
+        self.n_patterns = n_patterns
+        self.n_cycles = n_cycles
+        if device is None:
+            device = pick_device(
+                packed.n_clbs,
+                area_overhead=0.35,
+                min_io=len(packed.io_blocks()) + 16,
+            )
+        self.device = device
+        #: pristine copy captured before any injection — the golden model
+        self.golden: Netlist = packed.netlist.copy(
+            f"{packed.netlist.name}.golden"
+        )
+        self.strategy: BaseStrategy = make_strategy(
+            strategy, packed, device, seed=seed, preset=self.preset,
+            tiling=tiling,
+        )
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        error_kind: str = "table_bit",
+        error_seed: int = 0,
+        max_probes: int = 8,
+        goal_size: int = 4,
+    ) -> DebugReport:
+        """Inject, detect, localize, correct, verify; return the report."""
+        netlist = self.packed.netlist
+        record = inject_error(netlist, error_kind, seed=error_seed)
+        check_netlist(netlist)
+        refresh_block_nets(self.packed)
+
+        initial_meter = EffortMeter()
+        self.strategy.build_initial(meter=initial_meter)
+
+        stimulus = random_stimulus(
+            self.golden, self.n_cycles, self.n_patterns, seed=self.seed
+        )
+        mismatches = self._detect(stimulus)
+        notes: list[str] = []
+        if not mismatches:
+            # widen the net: longer run, more patterns
+            notes.append("first stimulus missed the error; widened")
+            stimulus = random_stimulus(
+                self.golden, self.n_cycles * 4, self.n_patterns,
+                seed=self.seed + 1,
+            )
+            mismatches = self._detect(stimulus)
+        if not mismatches:
+            return DebugReport(
+                design=netlist.name,
+                strategy=self.strategy.name,
+                error=record,
+                detected=False,
+                localization=None,
+                localized_correctly=False,
+                fixed=False,
+                n_commits=0,
+                total_effort=self.strategy.total_effort,
+                initial_effort=initial_meter,
+                notes=notes + ["error never excited; not a functional bug"],
+            )
+
+        # steps 4-8: the tiled strategy locks its boundaries now
+        self.strategy.prepare_for_debug()
+
+        localizer = ConeLocalizer(
+            self.strategy, self.golden, stimulus, self.n_patterns,
+            goal_size=goal_size,
+        )
+        localization = localizer.run(mismatches, max_probes=max_probes)
+        localized = record.instance in localization.candidates
+
+        fix = apply_correction(netlist, record)
+        check_netlist(netlist)
+        self.strategy.commit(fix, anchor_instance=record.instance)
+
+        remaining = self._detect(stimulus)
+        fixed = not remaining
+        if not fixed:
+            notes.append(f"{len(remaining)} mismatches persist after fix")
+
+        return DebugReport(
+            design=netlist.name,
+            strategy=self.strategy.name,
+            error=record,
+            detected=True,
+            localization=localization,
+            localized_correctly=localized,
+            fixed=fixed,
+            n_commits=len(self.strategy.commit_history),
+            total_effort=self.strategy.total_effort,
+            initial_effort=initial_meter,
+            notes=notes,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _detect(self, stimulus) -> list[Mismatch]:
+        return detect_on_layout(
+            self.strategy.layout, self.golden, stimulus, self.n_patterns
+        )
+
+
+def run_campaign(
+    packed_factory,
+    strategies: list[str],
+    error_kind: str = "table_bit",
+    seed: int = 1,
+    preset: EffortPreset | None = None,
+    tiling: TilingOptions | None = None,
+    n_cycles: int = 8,
+    n_patterns: int = 64,
+) -> dict[str, DebugReport]:
+    """Run the identical debug campaign under several strategies.
+
+    ``packed_factory`` must build a *fresh* packed design per call —
+    each strategy mutates its own netlist copy.
+    """
+    reports: dict[str, DebugReport] = {}
+    for name in strategies:
+        packed = packed_factory()
+        session = EmulationDebugSession(
+            packed, strategy=name, seed=seed, preset=preset, tiling=tiling,
+            n_cycles=n_cycles, n_patterns=n_patterns,
+        )
+        reports[name] = session.run(error_kind=error_kind, error_seed=seed)
+    if not reports:
+        raise DebugFlowError("no strategies requested")
+    return reports

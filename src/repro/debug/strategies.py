@@ -1,0 +1,250 @@
+"""Back-end strategies under comparison (the paper's Figure 5 contenders).
+
+Every strategy answers one question — *what does it cost to push a
+debugging change into the physical design?* — through a common
+interface:
+
+* :class:`TiledStrategy` — the paper's contribution: tile on first use,
+  then commit each change with tile-confined re-place-and-route;
+* :class:`QuickEcoStrategy` — Fang/Wu/Yen's DAC'97 system: trace the
+  change to its *functional block* and re-place-and-route that block.
+  Per paper §6 each experimental design is one functional block, so the
+  whole design is re-implemented;
+* :class:`IncrementalStrategy` — incremental P&R: rip up a window around
+  the change, growing it to make room, with global rerouting;
+* :class:`FullStrategy` — the historical worst case: full re-place-and-
+  route of everything on every change.
+
+Each commit returns an :class:`EffortMeter`; histories accumulate in
+``commit_history`` for the experiment drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.device import Device
+from repro.errors import DebugFlowError
+from repro.pnr.effort import EffortMeter, EffortPreset, EFFORT_PRESETS
+from repro.pnr.flow import Layout, full_place_and_route, incremental_update
+from repro.rng import derive_seed
+from repro.synth.pack import PackedDesign, extend_packing, refresh_block_nets
+from repro.tiling.eco import ChangeSet
+from repro.tiling.manager import TiledLayout
+from repro.tiling.partition import TilingOptions
+
+STRATEGY_NAMES = ("tiled", "quick_eco", "incremental", "full")
+
+
+@dataclass
+class CommitRecord:
+    """One committed change and what it cost."""
+
+    description: str
+    effort: EffortMeter
+    detail: str = ""
+
+
+def _absorb_changes(
+    packed: PackedDesign, layout: Layout | None, changes: ChangeSet
+) -> tuple[set[int], set[int], list[int]]:
+    """Update packing/netlist bookkeeping shared by all strategies.
+
+    Returns (changed blocks, new blocks, net indices needing routes).
+    """
+    changed_blocks = packed.blocks_of_instances(changes.touched_existing())
+    new_blocks = extend_packing(packed, changes.new_instances)
+    new_ids, changed_ids, removed_ids = refresh_block_nets(packed)
+    if layout is not None:
+        for idx in removed_ids:
+            old = layout.routes.pop(idx, None)
+            if old is not None:
+                layout.state.remove(old)
+    return changed_blocks, new_blocks, sorted(new_ids | changed_ids)
+
+
+class BaseStrategy:
+    """Common state: the packed design, device, and commit history."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        packed: PackedDesign,
+        device: Device,
+        seed: int = 1,
+        preset: EffortPreset | None = None,
+        tiling: TilingOptions | None = None,
+    ) -> None:
+        self.packed = packed
+        self.device = device
+        self.seed = seed
+        self.preset = preset or EFFORT_PRESETS["normal"]
+        self.tiling_options = tiling or TilingOptions(n_tiles=10)
+        self.commit_history: list[CommitRecord] = []
+        self._commit_count = 0
+        self._layout: Layout | None = None
+
+    # -- construction --------------------------------------------------
+
+    def build_initial(self, meter: EffortMeter | None = None) -> Layout:
+        """Step 2: the original place-and-route (not a debugging cost)."""
+        meter = meter if meter is not None else EffortMeter()
+        self._layout = full_place_and_route(
+            self.packed, self.device, seed=self.seed, preset=self.preset,
+            meter=meter, strict_routing=False,
+        )
+        return self._layout
+
+    @property
+    def layout(self) -> Layout:
+        if self._layout is None:
+            raise DebugFlowError("call build_initial() first")
+        return self._layout
+
+    def prepare_for_debug(self) -> None:
+        """Hook: run once after the first error is detected (steps 4-8)."""
+
+    def _next_seed(self) -> int:
+        self._commit_count += 1
+        return derive_seed(self.seed, self.name, self._commit_count)
+
+    def commit(self, changes: ChangeSet, anchor_instance: str | None = None
+               ) -> EffortMeter:
+        raise NotImplementedError
+
+    @property
+    def total_effort(self) -> EffortMeter:
+        total = EffortMeter()
+        for rec in self.commit_history:
+            total = total.merged_with(rec.effort)
+        return total
+
+
+class TiledStrategy(BaseStrategy):
+    """The paper's approach."""
+
+    name = "tiled"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.tiled: TiledLayout | None = None
+
+    def prepare_for_debug(self) -> None:
+        """Steps 4-8: re-place with slack, draw boundaries, lock.
+
+        Tiling setup is a one-time cost, *not* charged to per-change
+        commits (the paper reports it as Table 1 overhead instead).
+        """
+        if self.tiled is not None:
+            return
+        self.tiled = TiledLayout.create(
+            self.packed, self.device, self.tiling_options,
+            seed=self.seed, preset=self.preset,
+            initial_layout=self._layout,
+        )
+        self._layout = self.tiled.layout
+
+    def commit(self, changes: ChangeSet, anchor_instance: str | None = None
+               ) -> EffortMeter:
+        if self.tiled is None:
+            self.prepare_for_debug()
+        assert self.tiled is not None
+        report = self.tiled.apply_changeset(
+            changes, seed=self._next_seed(), preset=self.preset,
+            anchor_instance=anchor_instance,
+        )
+        self._layout = self.tiled.layout
+        self.commit_history.append(
+            CommitRecord(
+                changes.description, report.effort,
+                detail=f"tiles {report.affected_tiles}",
+            )
+        )
+        return report.effort
+
+
+class QuickEcoStrategy(BaseStrategy):
+    """Functional-block granularity: re-P&R the whole affected block.
+
+    Per paper §6 every experimental design is a single functional
+    block, so each commit re-places-and-routes the entire design.
+    """
+
+    name = "quick_eco"
+
+    def commit(self, changes: ChangeSet, anchor_instance: str | None = None
+               ) -> EffortMeter:
+        meter = EffortMeter()
+        _absorb_changes(self.packed, self._layout, changes)
+        self._layout = full_place_and_route(
+            self.packed, self.device, seed=self._next_seed(),
+            preset=self.preset, meter=meter, strict_routing=False,
+        )
+        self.commit_history.append(
+            CommitRecord(changes.description, meter, detail="whole block")
+        )
+        return meter
+
+
+class FullStrategy(QuickEcoStrategy):
+    """Everything re-implemented each time (pre-Quick_ECO practice)."""
+
+    name = "full"
+
+
+class IncrementalStrategy(BaseStrategy):
+    """Window-based incremental place-and-route."""
+
+    name = "incremental"
+
+    def commit(self, changes: ChangeSet, anchor_instance: str | None = None
+               ) -> EffortMeter:
+        meter = EffortMeter()
+        changed, fresh, net_ids = _absorb_changes(
+            self.packed, self._layout, changes
+        )
+        anchor_blocks = set(changed)
+        if not anchor_blocks and anchor_instance is not None:
+            block = self.packed.block_of_instance.get(anchor_instance)
+            if block is not None:
+                anchor_blocks = {block}
+        if not anchor_blocks:
+            # no placed anchor: fall back to the device center block
+            placed = sorted(self.layout.placement.clb_at.values())
+            if not placed:
+                raise DebugFlowError("empty layout cannot be updated")
+            anchor_blocks = {placed[len(placed) // 2]}
+        window = incremental_update(
+            self.layout, anchor_blocks, new_blocks=fresh,
+            seed=self._next_seed(), preset=self.preset, meter=meter,
+            extra_nets=net_ids,
+        )
+        self.commit_history.append(
+            CommitRecord(changes.description, meter, detail=f"window {window}")
+        )
+        return meter
+
+
+def make_strategy(
+    name: str,
+    packed: PackedDesign,
+    device: Device,
+    seed: int = 1,
+    preset: EffortPreset | None = None,
+    tiling: TilingOptions | None = None,
+) -> BaseStrategy:
+    """Factory keyed by strategy name (see :data:`STRATEGY_NAMES`)."""
+    classes = {
+        "tiled": TiledStrategy,
+        "quick_eco": QuickEcoStrategy,
+        "incremental": IncrementalStrategy,
+        "full": FullStrategy,
+    }
+    try:
+        cls = classes[name]
+    except KeyError:
+        raise DebugFlowError(
+            f"unknown strategy {name!r}; choose from {STRATEGY_NAMES}"
+        ) from None
+    return cls(packed, device, seed=seed, preset=preset, tiling=tiling)

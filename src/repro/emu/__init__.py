@@ -1,0 +1,13 @@
+"""Emulation substrate: cycle emulator and mock bitstream model.
+
+* :mod:`repro.emu.bitstream` — per-site configuration frames; proves the
+  tiling lock invariant (unaffected tiles are byte-identical across a
+  debugging change);
+* :mod:`repro.emu.emulator` — cycle-accurate emulation of the placed
+  design, the vehicle for error detection (paper step 21: "emulate").
+"""
+
+from repro.emu.bitstream import Bitstream, frames_for_tiles
+from repro.emu.emulator import Emulator
+
+__all__ = ["Bitstream", "frames_for_tiles", "Emulator"]

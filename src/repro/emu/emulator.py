@@ -1,0 +1,85 @@
+"""Cycle emulator: runs the placed design like the emulation board would.
+
+The emulator executes the *mapped netlist that the layout implements* —
+it refuses to run a layout whose placement is incomplete or whose
+packing disagrees with the netlist, the moral equivalent of loading a
+stale bitstream.  Functionally it is the same levelized engine as the
+golden model (hardware emulation is functionally exact; that is the
+point of emulation), so any output divergence from the golden reference
+is a *design error*, not an artifact.
+
+Observation flags: instrumentation (:mod:`repro.debug.instrument`) adds
+primary outputs named ``obs_flag*``; :meth:`Emulator.run_with_flags`
+separates them from functional outputs so the detection step can watch
+the flags the way a logic analyzer would.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EmulationError
+from repro.netlist.simulate import CombinationalSimulator
+from repro.pnr.flow import Layout
+
+OBS_PREFIX = "obs_flag"
+
+
+class Emulator:
+    """Executes a placed-and-routed design cycle by cycle."""
+
+    def __init__(self, layout: Layout) -> None:
+        self.layout = layout
+        self._check_configuration()
+        self.netlist = layout.packed.netlist
+        self._comb = CombinationalSimulator(self.netlist)
+        self.state: dict[str, int] = {}
+        self.cycle = 0
+        self.reset()
+
+    def _check_configuration(self) -> None:
+        packed = self.layout.packed
+        try:
+            self.layout.placement.check_complete()
+        except Exception as exc:
+            raise EmulationError(f"cannot emulate: {exc}") from exc
+        for inst in packed.netlist.logic_instances():
+            if inst.name not in packed.block_of_instance:
+                raise EmulationError(
+                    f"instance {inst.name} has no configured block; "
+                    "re-pack before emulating"
+                )
+
+    def reset(self, n_patterns: int = 1) -> None:
+        mask = (1 << n_patterns) - 1
+        self.state = {
+            ff.name: (mask if ff.params.get("init", 0) else 0)
+            for ff in self.netlist.flip_flops()
+        }
+        self.cycle = 0
+
+    def step(self, inputs: dict[str, int], n_patterns: int = 1) -> dict[str, int]:
+        outputs, self.state = self._comb.next_state(
+            inputs, n_patterns, self.state
+        )
+        self.cycle += 1
+        return outputs
+
+    def run(
+        self, stimulus: list[dict[str, int]], n_patterns: int = 1
+    ) -> list[dict[str, int]]:
+        return [self.step(cycle_in, n_patterns) for cycle_in in stimulus]
+
+    def run_with_flags(
+        self, stimulus: list[dict[str, int]], n_patterns: int = 1
+    ) -> tuple[list[dict[str, int]], list[dict[str, int]]]:
+        """Run and split outputs into (functional, observation flags)."""
+        functional: list[dict[str, int]] = []
+        flags: list[dict[str, int]] = []
+        for cycle_in in stimulus:
+            out = self.step(cycle_in, n_patterns)
+            functional.append(
+                {k: v for k, v in out.items() if not k.startswith(OBS_PREFIX)}
+            )
+            flags.append(
+                {k: v for k, v in out.items() if k.startswith(OBS_PREFIX)}
+            )
+        return functional, flags

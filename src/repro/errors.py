@@ -1,0 +1,46 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Subsystems raise the most specific subclass that
+describes the failure.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NetlistError(ReproError):
+    """Structural problem in a netlist (duplicate names, bad connectivity)."""
+
+
+class ValidationError(NetlistError):
+    """A netlist failed a structural validation check."""
+
+
+class SynthesisError(ReproError):
+    """Technology mapping or packing could not complete."""
+
+
+class ArchitectureError(ReproError):
+    """The requested design does not fit the architecture model."""
+
+
+class PlacementError(ReproError):
+    """The placer could not produce a legal placement."""
+
+
+class RoutingError(ReproError):
+    """The router could not route every net within channel capacity."""
+
+
+class TilingError(ReproError):
+    """Tile partitioning or a tile-confined operation failed."""
+
+
+class DebugFlowError(ReproError):
+    """The emulation debug loop was driven into an invalid state."""
+
+
+class EmulationError(ReproError):
+    """The emulator or bitstream model detected an inconsistency."""

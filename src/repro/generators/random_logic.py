@@ -1,0 +1,125 @@
+"""Rent's-rule-flavoured random logic fabric.
+
+Used two ways:
+
+* standalone, as the s9234-class sequential benchmark (ISCAS89 s9234 is
+  a flattened industrial sequential circuit: 36 inputs, 39 outputs,
+  211 flip-flops and a few thousand gates);
+* as calibrated *padding fabric* inside the FSM benchmarks, whose
+  published CLB counts exceed what their state machines alone occupy.
+
+The generator builds a feed-forward gate network in levels (guaranteeing
+acyclicity), draws fan-ins with a locality bias so placements exhibit
+realistic wirelength distributions, and closes sequential loops only
+through flip-flops.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.cells import CellKind
+from repro.netlist.core import Net, Netlist
+from repro.rng import make_rng
+
+_GATE_CHOICES = (
+    CellKind.AND,
+    CellKind.OR,
+    CellKind.NAND,
+    CellKind.NOR,
+    CellKind.XOR,
+    CellKind.MUX2,
+)
+
+
+def random_sequential_netlist(
+    name: str,
+    n_inputs: int,
+    n_outputs: int,
+    n_ffs: int,
+    n_gates: int,
+    seed: int = 0,
+    depth: int = 12,
+    locality: float = 0.7,
+) -> Netlist:
+    """Random sequential netlist with the given resource profile.
+
+    ``locality`` in [0, 1] biases gate fan-ins toward recent levels,
+    mimicking the short-wire bias of real designs (Rent exponent well
+    below 1).  Every FF's D input is driven by the gate network, and FF
+    outputs re-enter the network as level-0 signals.
+    """
+    rng = make_rng(seed, "random_logic", name)
+    netlist = Netlist(name)
+
+    primary = [netlist.add_input(f"in{i}") for i in range(n_inputs)]
+    ff_q: list[Net] = []
+    ffs = []
+    for i in range(n_ffs):
+        q = netlist.add_net(f"ffq{i}")
+        ff_q.append(q)
+    level_pools: list[list[Net]] = [primary + ff_q]
+
+    gates_per_level = max(1, n_gates // depth)
+    made = 0
+    while made < n_gates:
+        current_level: list[Net] = []
+        budget = min(gates_per_level, n_gates - made)
+        for _ in range(budget):
+            kind = _GATE_CHOICES[rng.randrange(len(_GATE_CHOICES))]
+            fanin = 3 if kind is CellKind.MUX2 else rng.randint(2, 4)
+            inputs = [
+                _pick_source(level_pools, rng, locality) for _ in range(fanin)
+            ]
+            if kind is CellKind.MUX2:
+                inputs = inputs[:3]
+            current_level.append(netlist.add_gate(kind, inputs))
+            made += 1
+        level_pools.append(current_level)
+
+    all_signals = [net for pool in level_pools for net in pool]
+    late_signals = [net for pool in level_pools[len(level_pools) // 2 :] for net in pool]
+    pool = late_signals or all_signals
+
+    for i, q in enumerate(ff_q):
+        d = pool[rng.randrange(len(pool))]
+        ffs.append(netlist.add_dff(d, name=f"ff{i}", output=q))
+    for i in range(n_outputs):
+        src = pool[rng.randrange(len(pool))]
+        netlist.add_output(f"out{i}", src)
+    return netlist
+
+
+def _pick_source(level_pools: list[list[Net]], rng, locality: float) -> Net:
+    """Pick a driver, biased toward the most recent non-empty levels."""
+    if len(level_pools) == 1 or rng.random() > locality:
+        pool = level_pools[rng.randrange(len(level_pools))]
+    else:
+        # geometric bias toward recent levels
+        back = 1
+        while back < len(level_pools) and rng.random() < 0.5:
+            back += 1
+        pool = level_pools[-back]
+    if not pool:
+        pool = level_pools[0]
+    return pool[rng.randrange(len(pool))]
+
+
+def random_combinational_netlist(
+    name: str,
+    n_inputs: int,
+    n_outputs: int,
+    n_gates: int,
+    seed: int = 0,
+    depth: int = 10,
+    locality: float = 0.7,
+) -> Netlist:
+    """Pure combinational variant (no flip-flops)."""
+    return random_sequential_netlist(
+        name,
+        n_inputs,
+        n_outputs,
+        n_ffs=0,
+        n_gates=n_gates,
+        seed=seed,
+        depth=depth,
+        locality=locality,
+    )

@@ -1,0 +1,52 @@
+"""Shannon decomposition of wide truth tables into 4-LUT + MUX2 trees.
+
+The XC4000 function generators take four inputs; functions of more
+variables (DES S-boxes are 6-input) are synthesized by recursive Shannon
+cofactoring: ``f(x0..xk) = MUX2(xk, f|xk=0, f|xk=1)`` until the leaves
+fit a single LUT.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.builder import NetlistBuilder, Word
+from repro.netlist.cells import LUT_MAX_INPUTS
+from repro.netlist.core import Net
+
+
+def logic_from_table(builder: NetlistBuilder, inputs: Word, table: int) -> Net:
+    """Net computing the ``table`` truth-table over ``inputs``.
+
+    ``table`` bit ``i`` is the output for the minterm where input ``j``
+    carries bit ``j`` of ``i`` (LSB-first, matching
+    :func:`repro.netlist.cells.eval_lut`).
+    """
+    k = len(inputs)
+    if k <= LUT_MAX_INPUTS:
+        lut = builder.netlist.add_lut(inputs, table)
+        return lut.output
+    half = 1 << (k - 1)
+    mask = (1 << half) - 1
+    low = table & mask  # cofactor with top variable = 0
+    high = (table >> half) & mask
+    if low == high:
+        return logic_from_table(builder, inputs[:-1], low)
+    d0 = logic_from_table(builder, inputs[:-1], low)
+    d1 = logic_from_table(builder, inputs[:-1], high)
+    return builder.mux(inputs[-1], d0, d1)
+
+
+def table_from_rows(rows: list[int], n_inputs: int, out_bit: int) -> int:
+    """Truth table for one output bit of a multi-bit row lookup.
+
+    ``rows[i]`` is the multi-bit output for minterm ``i``; the result is
+    the single-bit table selecting ``out_bit`` of each row.
+    """
+    if len(rows) != (1 << n_inputs):
+        raise ValueError(
+            f"need {1 << n_inputs} rows for {n_inputs} inputs, got {len(rows)}"
+        )
+    table = 0
+    for minterm, row in enumerate(rows):
+        if (row >> out_bit) & 1:
+            table |= 1 << minterm
+    return table

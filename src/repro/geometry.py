@@ -1,0 +1,121 @@
+"""Small planar-geometry helpers used by placement and tiling.
+
+Coordinates are integer CLB-grid coordinates: ``x`` grows to the right,
+``y`` grows upward.  A :class:`Rect` covers the half-open-free inclusive
+range ``[x0, x1] x [y0, y1]`` — both corners are inside the rectangle,
+matching how region constraints are expressed for the placer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, order=True)
+class Rect:
+    """Inclusive axis-aligned rectangle on the CLB grid."""
+
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+
+    def __post_init__(self) -> None:
+        if self.x1 < self.x0 or self.y1 < self.y0:
+            raise ValueError(f"degenerate rectangle {self!r}")
+
+    @property
+    def width(self) -> int:
+        return self.x1 - self.x0 + 1
+
+    @property
+    def height(self) -> int:
+        return self.y1 - self.y0 + 1
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    def contains(self, x: int, y: int) -> bool:
+        return self.x0 <= x <= self.x1 and self.y0 <= y <= self.y1
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return (
+            self.x0 <= other.x0
+            and self.y0 <= other.y0
+            and other.x1 <= self.x1
+            and other.y1 <= self.y1
+        )
+
+    def overlaps(self, other: "Rect") -> bool:
+        return not (
+            other.x1 < self.x0
+            or self.x1 < other.x0
+            or other.y1 < self.y0
+            or self.y1 < other.y0
+        )
+
+    def touches(self, other: "Rect") -> bool:
+        """True when the rectangles overlap or share an edge/corner."""
+        return not (
+            other.x1 < self.x0 - 1
+            or self.x1 < other.x0 - 1
+            or other.y1 < self.y0 - 1
+            or self.y1 < other.y0 - 1
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        return Rect(
+            min(self.x0, other.x0),
+            min(self.y0, other.y0),
+            max(self.x1, other.x1),
+            max(self.y1, other.y1),
+        )
+
+    def expanded(self, margin: int, clip: "Rect" | None = None) -> "Rect":
+        """Return this rectangle grown by ``margin`` on every side.
+
+        When ``clip`` is given the result is intersected with it, which is
+        how the incremental-P&R baseline grows its rip-up window without
+        leaving the device.
+        """
+        grown = Rect(
+            self.x0 - margin, self.y0 - margin, self.x1 + margin, self.y1 + margin
+        )
+        if clip is None:
+            return grown
+        return grown.intersection(clip)
+
+    def intersection(self, other: "Rect") -> "Rect":
+        if not self.overlaps(other):
+            raise ValueError(f"{self!r} and {other!r} do not overlap")
+        return Rect(
+            max(self.x0, other.x0),
+            max(self.y0, other.y0),
+            min(self.x1, other.x1),
+            min(self.y1, other.y1),
+        )
+
+    def sites(self) -> Iterator[tuple[int, int]]:
+        """Yield every (x, y) grid site inside the rectangle."""
+        for y in range(self.y0, self.y1 + 1):
+            for x in range(self.x0, self.x1 + 1):
+                yield (x, y)
+
+    def center(self) -> tuple[float, float]:
+        return ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+
+def manhattan(a: tuple[int, int], b: tuple[int, int]) -> int:
+    """Manhattan distance between two grid points."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def half_perimeter(points: list[tuple[int, int]]) -> int:
+    """Half-perimeter wirelength (HPWL) of a point set; 0 for < 2 points."""
+    if len(points) < 2:
+        return 0
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))

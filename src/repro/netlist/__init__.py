@@ -1,0 +1,53 @@
+"""Logic-netlist representation and services.
+
+The netlist is the common currency of the whole library:
+
+* :mod:`repro.netlist.cells` — the cell library (gates, LUT, DFF, IO).
+* :mod:`repro.netlist.core` — :class:`Netlist`, :class:`Instance`,
+  :class:`Net` with full mutation support for ECO edits.
+* :mod:`repro.netlist.builder` — word-level construction helpers used by
+  the benchmark generators (adders, muxes, popcount, registers, ...).
+* :mod:`repro.netlist.validate` — structural checks.
+* :mod:`repro.netlist.simulate` — levelized bit-parallel simulation.
+* :mod:`repro.netlist.blif` — Berkeley BLIF (MCNC format) reader/writer.
+* :mod:`repro.netlist.hierarchy` — the design-hierarchy tree used for
+  back-annotation from HDL-level changes down to physical tiles.
+"""
+
+from repro.netlist.cells import (
+    CellKind,
+    GATE_KINDS,
+    arity_of,
+    eval_gate,
+    is_combinational,
+    is_sequential,
+)
+from repro.netlist.core import Instance, Net, Netlist
+from repro.netlist.builder import NetlistBuilder, Word
+from repro.netlist.hierarchy import HierNode, build_flat_hierarchy
+from repro.netlist.simulate import (
+    CombinationalSimulator,
+    SequentialSimulator,
+    simulate_words,
+)
+from repro.netlist.validate import check_netlist
+
+__all__ = [
+    "CellKind",
+    "GATE_KINDS",
+    "arity_of",
+    "eval_gate",
+    "is_combinational",
+    "is_sequential",
+    "Instance",
+    "Net",
+    "Netlist",
+    "NetlistBuilder",
+    "Word",
+    "HierNode",
+    "build_flat_hierarchy",
+    "CombinationalSimulator",
+    "SequentialSimulator",
+    "simulate_words",
+    "check_netlist",
+]

@@ -1,0 +1,253 @@
+"""Berkeley BLIF reader and writer (the MCNC benchmark format).
+
+The reader accepts the common MCNC subset: ``.model``, ``.inputs``,
+``.outputs``, ``.names`` (SOP cover with ``-`` don't-cares, on-set and
+off-set covers), ``.latch`` and ``.end``.  Covers with at most four
+literals become LUT instances directly; wider covers are expanded into
+AND/OR networks so the technology mapper can re-cover them.
+
+The writer emits ``.names`` truth tables for every combinational cell
+and ``.latch`` lines for flip-flops, producing files readable by other
+academic tools (SIS, ABC, VPR flows).
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.netlist.cells import CellKind, LUT_MAX_INPUTS, lut_table_for_gate
+from repro.netlist.core import Net, Netlist
+
+
+def read_blif(text: str, name: str | None = None) -> Netlist:
+    """Parse BLIF text into a :class:`Netlist`."""
+    lines = _logical_lines(text)
+    model = name or "blif"
+    inputs: list[str] = []
+    outputs: list[str] = []
+    names_blocks: list[tuple[list[str], list[str]]] = []
+    latches: list[tuple[str, str, int]] = []
+
+    i = 0
+    while i < len(lines):
+        tokens = lines[i].split()
+        directive = tokens[0]
+        if directive == ".model":
+            model = tokens[1] if len(tokens) > 1 else model
+        elif directive == ".inputs":
+            inputs.extend(tokens[1:])
+        elif directive == ".outputs":
+            outputs.extend(tokens[1:])
+        elif directive == ".latch":
+            if len(tokens) < 3:
+                raise NetlistError(f"malformed .latch: {lines[i]!r}")
+            init = 0
+            if len(tokens) >= 4 and tokens[-1] in ("0", "1", "2", "3"):
+                init = 1 if tokens[-1] == "1" else 0
+            latches.append((tokens[1], tokens[2], init))
+        elif directive == ".names":
+            signals = tokens[1:]
+            cover: list[str] = []
+            while i + 1 < len(lines) and not lines[i + 1].startswith("."):
+                i += 1
+                cover.append(lines[i])
+            names_blocks.append((signals, cover))
+        elif directive == ".end":
+            break
+        elif directive in (".clock", ".wire_load_slope", ".default_input_arrival"):
+            pass  # accepted and ignored
+        else:
+            raise NetlistError(f"unsupported BLIF directive {directive!r}")
+        i += 1
+
+    netlist = Netlist(model)
+    nets: dict[str, Net] = {}
+
+    def get_net(signal: str) -> Net:
+        if signal not in nets:
+            nets[signal] = netlist.add_net(signal)
+        return nets[signal]
+
+    for signal in inputs:
+        net = get_net(signal)
+        netlist.add_instance(CellKind.INPUT, [], name=f"pi:{signal}", output=net)
+    for q, d_init in ((q, init) for d, q, init in latches):
+        get_net(q)
+    for d, q, init in latches:
+        netlist.add_instance(
+            CellKind.DFF,
+            [get_net(d)],
+            name=f"lat:{q}",
+            output=get_net(q),
+            params={"init": init},
+        )
+    for signals, cover in names_blocks:
+        _build_names(netlist, get_net, signals, cover)
+    for signal in outputs:
+        netlist.add_output(signal, get_net(signal))
+    return netlist
+
+
+def _logical_lines(text: str) -> list[str]:
+    """Strip comments, join continuation lines, drop blanks."""
+    merged: list[str] = []
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        merged.append((pending + line).strip())
+        pending = ""
+    if pending.strip():
+        merged.append(pending.strip())
+    return merged
+
+
+def _build_names(netlist, get_net, signals: list[str], cover: list[str]) -> None:
+    if not signals:
+        raise NetlistError(".names with no signals")
+    *input_names, output_name = signals
+    out_net = get_net(output_name)
+    in_nets = [get_net(s) for s in input_names]
+
+    if not cover:  # constant 0
+        netlist.add_instance(
+            CellKind.CONST0, [], name=f"nm:{output_name}", output=out_net
+        )
+        return
+    if not input_names:
+        value = cover[0].strip()
+        kind = CellKind.CONST1 if value == "1" else CellKind.CONST0
+        netlist.add_instance(kind, [], name=f"nm:{output_name}", output=out_net)
+        return
+
+    rows, polarity = _parse_cover(cover, len(input_names))
+    if len(input_names) <= LUT_MAX_INPUTS:
+        table = _cover_to_table(rows, polarity, len(input_names))
+        netlist.add_lut(
+            in_nets, table, name=f"nm:{output_name}", output=out_net
+        )
+        return
+
+    # Wide cover: expand to a two-level AND/OR network (re-covered later
+    # by technology mapping).
+    product_nets = []
+    for row in rows:
+        literals = []
+        for j, value in enumerate(row):
+            if value == "1":
+                literals.append(in_nets[j])
+            elif value == "0":
+                literals.append(netlist.add_gate(CellKind.NOT, [in_nets[j]]))
+        if not literals:
+            literals = [netlist.add_gate(CellKind.CONST1, [])]
+        product_nets.append(_tree(netlist, CellKind.AND, literals))
+    total = _tree(netlist, CellKind.OR, product_nets)
+    final_kind = CellKind.BUF if polarity else CellKind.NOT
+    netlist.add_instance(
+        final_kind, [total], name=f"nm:{output_name}", output=out_net
+    )
+
+
+def _tree(netlist, kind: CellKind, nets: list[Net]) -> Net:
+    layer = list(nets)
+    while len(layer) > 1:
+        nxt = []
+        for i in range(0, len(layer), 4):
+            chunk = layer[i : i + 4]
+            nxt.append(chunk[0] if len(chunk) == 1 else netlist.add_gate(kind, chunk))
+        layer = nxt
+    return layer[0]
+
+
+def _parse_cover(cover: list[str], n_inputs: int) -> tuple[list[str], int]:
+    rows: list[str] = []
+    polarity: int | None = None
+    for line in cover:
+        parts = line.split()
+        if len(parts) != 2:
+            raise NetlistError(f"malformed cover row {line!r}")
+        pattern, value = parts
+        if len(pattern) != n_inputs:
+            raise NetlistError(
+                f"cover row {pattern!r} does not match {n_inputs} inputs"
+            )
+        row_pol = 1 if value == "1" else 0
+        if polarity is None:
+            polarity = row_pol
+        elif polarity != row_pol:
+            raise NetlistError("mixed on-set/off-set covers are not supported")
+        rows.append(pattern)
+    assert polarity is not None
+    return rows, polarity
+
+
+def _cover_to_table(rows: list[str], polarity: int, k: int) -> int:
+    covered = 0
+    for minterm in range(1 << k):
+        for row in rows:
+            match = True
+            for j in range(k):
+                want = row[j]
+                bit = (minterm >> j) & 1
+                if want == "-":
+                    continue
+                if int(want) != bit:
+                    match = False
+                    break
+            if match:
+                covered |= 1 << minterm
+                break
+    if polarity:
+        return covered
+    return ~covered & ((1 << (1 << k)) - 1)
+
+
+def write_blif(netlist: Netlist) -> str:
+    """Serialize a netlist to BLIF text."""
+    out: list[str] = [f".model {netlist.name}"]
+    pis = [inst.output.name for inst in netlist.primary_inputs()]
+    pos = [(inst.name.split(":", 1)[-1], inst.inputs[0].name)
+           for inst in netlist.primary_outputs()]
+    out.append(".inputs " + " ".join(pis) if pis else ".inputs")
+    out.append(".outputs " + " ".join(name for name, _ in pos) if pos else ".outputs")
+
+    alias_rows: list[str] = []
+    for po_name, net_name in pos:
+        if po_name != net_name:
+            alias_rows.append(f".names {net_name} {po_name}\n1 1")
+
+    for inst in netlist.instances():
+        if inst.kind in (CellKind.INPUT, CellKind.OUTPUT):
+            continue
+        if inst.kind is CellKind.DFF:
+            init = inst.params.get("init", 0)
+            out.append(
+                f".latch {inst.inputs[0].name} {inst.output.name} re clk {init}"
+            )
+            continue
+        table = (
+            inst.params["table"]
+            if inst.kind is CellKind.LUT
+            else lut_table_for_gate(inst.kind, len(inst.inputs))
+        )
+        signals = " ".join(n.name for n in inst.inputs)
+        header = f".names {signals} {inst.output.name}".replace("  ", " ")
+        body = _table_to_cover(table, len(inst.inputs))
+        out.append(header + ("\n" + body if body else ""))
+    out.extend(alias_rows)
+    out.append(".end")
+    return "\n".join(out) + "\n"
+
+
+def _table_to_cover(table: int, k: int) -> str:
+    if k == 0:
+        return "1" if table & 1 else ""
+    rows = []
+    for minterm in range(1 << k):
+        if (table >> minterm) & 1:
+            pattern = "".join(str((minterm >> j) & 1) for j in range(k))
+            rows.append(f"{pattern} 1")
+    return "\n".join(rows)

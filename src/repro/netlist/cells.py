@@ -1,0 +1,236 @@
+"""Cell library: the primitive kinds an :class:`Instance` can have.
+
+The library is deliberately small — the synthesizable subset needed to
+express the paper's benchmark designs plus the post-mapping primitives:
+
+========  =========  =====================================================
+kind      inputs     meaning
+========  =========  =====================================================
+INPUT     0          primary input (drives one net)
+OUTPUT    1          primary output marker (consumes one net)
+CONST0    0          constant logic 0
+CONST1    0          constant logic 1
+BUF       1          buffer
+NOT       1          inverter
+AND       2..8       n-ary AND
+OR        2..8       n-ary OR
+NAND      2..8       n-ary NAND
+NOR       2..8       n-ary NOR
+XOR       2..8       n-ary XOR (parity)
+XNOR      2..8       complement of parity
+MUX2      3          2:1 mux, ports (sel, d0, d1): out = d1 if sel else d0
+DFF       1          D flip-flop on the single implicit global clock
+LUT       1..4       k-input lookup table, truth table in params["table"]
+========  =========  =====================================================
+
+Evaluation works on *bit-parallel words*: every value is a Python int
+whose bit ``i`` is the value of the signal under test pattern ``i``.
+``mask`` is ``(1 << n_patterns) - 1`` and bounds every bitwise NOT.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from functools import reduce
+from typing import Sequence
+
+from repro.errors import NetlistError
+
+
+class CellKind(str, Enum):
+    """Primitive cell kinds understood by the whole tool flow."""
+
+    INPUT = "INPUT"
+    OUTPUT = "OUTPUT"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+    BUF = "BUF"
+    NOT = "NOT"
+    AND = "AND"
+    OR = "OR"
+    NAND = "NAND"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    MUX2 = "MUX2"
+    DFF = "DFF"
+    LUT = "LUT"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Combinational logic kinds that technology mapping must absorb into LUTs.
+GATE_KINDS = frozenset(
+    {
+        CellKind.BUF,
+        CellKind.NOT,
+        CellKind.AND,
+        CellKind.OR,
+        CellKind.NAND,
+        CellKind.NOR,
+        CellKind.XOR,
+        CellKind.XNOR,
+        CellKind.MUX2,
+        CellKind.CONST0,
+        CellKind.CONST1,
+    }
+)
+
+#: Kinds with a fixed input count; others (n-ary gates, LUT) are variable.
+_FIXED_ARITY = {
+    CellKind.INPUT: 0,
+    CellKind.OUTPUT: 1,
+    CellKind.CONST0: 0,
+    CellKind.CONST1: 0,
+    CellKind.BUF: 1,
+    CellKind.NOT: 1,
+    CellKind.MUX2: 3,
+    CellKind.DFF: 1,
+}
+
+_VARIADIC_RANGE = {
+    CellKind.AND: (2, 8),
+    CellKind.OR: (2, 8),
+    CellKind.NAND: (2, 8),
+    CellKind.NOR: (2, 8),
+    CellKind.XOR: (2, 8),
+    CellKind.XNOR: (2, 8),
+    CellKind.LUT: (0, 4),
+}
+
+#: Maximum LUT fan-in of the XC4000 function generators.
+LUT_MAX_INPUTS = 4
+
+
+def arity_of(kind: CellKind, n_inputs: int) -> int:
+    """Validate and return the input count for an instance of ``kind``.
+
+    Raises :class:`NetlistError` when ``n_inputs`` is illegal for the
+    kind, so malformed instances are rejected at construction time.
+    """
+    if kind in _FIXED_ARITY:
+        expected = _FIXED_ARITY[kind]
+        if n_inputs != expected:
+            raise NetlistError(
+                f"{kind} requires exactly {expected} input(s), got {n_inputs}"
+            )
+        return n_inputs
+    low, high = _VARIADIC_RANGE[kind]
+    if not low <= n_inputs <= high:
+        raise NetlistError(
+            f"{kind} accepts {low}..{high} inputs, got {n_inputs}"
+        )
+    return n_inputs
+
+
+def is_combinational(kind: CellKind) -> bool:
+    """True for kinds evaluated inside a clock cycle (includes LUT)."""
+    return kind in GATE_KINDS or kind is CellKind.LUT
+
+
+def is_sequential(kind: CellKind) -> bool:
+    return kind is CellKind.DFF
+
+
+def lut_table_for_gate(kind: CellKind, n_inputs: int) -> int:
+    """Truth table (as an int) of a basic gate, for LUT absorption.
+
+    Bit ``i`` of the result is the gate output when input ``j`` carries
+    bit ``j`` of the minterm index ``i``.
+    """
+    size = 1 << n_inputs
+    table = 0
+    for minterm in range(size):
+        bits = [(minterm >> j) & 1 for j in range(n_inputs)]
+        value = _eval_gate_scalar(kind, bits)
+        if value:
+            table |= 1 << minterm
+    return table
+
+
+def _eval_gate_scalar(kind: CellKind, bits: Sequence[int]) -> int:
+    if kind is CellKind.CONST0:
+        return 0
+    if kind is CellKind.CONST1:
+        return 1
+    if kind is CellKind.BUF:
+        return bits[0]
+    if kind is CellKind.NOT:
+        return 1 - bits[0]
+    if kind is CellKind.AND:
+        return int(all(bits))
+    if kind is CellKind.OR:
+        return int(any(bits))
+    if kind is CellKind.NAND:
+        return int(not all(bits))
+    if kind is CellKind.NOR:
+        return int(not any(bits))
+    if kind is CellKind.XOR:
+        return reduce(lambda a, b: a ^ b, bits, 0)
+    if kind is CellKind.XNOR:
+        return 1 - reduce(lambda a, b: a ^ b, bits, 0)
+    if kind is CellKind.MUX2:
+        sel, d0, d1 = bits
+        return d1 if sel else d0
+    raise NetlistError(f"{kind} is not a combinational gate")
+
+
+def eval_gate(
+    kind: CellKind,
+    inputs: Sequence[int],
+    mask: int,
+    table: int | None = None,
+) -> int:
+    """Evaluate one cell on bit-parallel words.
+
+    ``inputs`` are words (ints), ``mask`` bounds NOT operations, and
+    ``table`` supplies the truth table for ``LUT`` instances.
+    """
+    if kind is CellKind.CONST0:
+        return 0
+    if kind is CellKind.CONST1:
+        return mask
+    if kind is CellKind.BUF:
+        return inputs[0]
+    if kind is CellKind.NOT:
+        return ~inputs[0] & mask
+    if kind is CellKind.AND:
+        return reduce(lambda a, b: a & b, inputs)
+    if kind is CellKind.OR:
+        return reduce(lambda a, b: a | b, inputs)
+    if kind is CellKind.NAND:
+        return ~reduce(lambda a, b: a & b, inputs) & mask
+    if kind is CellKind.NOR:
+        return ~reduce(lambda a, b: a | b, inputs) & mask
+    if kind is CellKind.XOR:
+        return reduce(lambda a, b: a ^ b, inputs)
+    if kind is CellKind.XNOR:
+        return ~reduce(lambda a, b: a ^ b, inputs) & mask
+    if kind is CellKind.MUX2:
+        sel, d0, d1 = inputs
+        return (d0 & ~sel) | (d1 & sel)
+    if kind is CellKind.LUT:
+        return eval_lut(table or 0, inputs, mask)
+    raise NetlistError(f"cannot evaluate kind {kind}")
+
+
+def eval_lut(table: int, inputs: Sequence[int], mask: int) -> int:
+    """Evaluate a k-input LUT truth table on bit-parallel words."""
+    k = len(inputs)
+    if k == 0:
+        return mask if table & 1 else 0
+    result = 0
+    for minterm in range(1 << k):
+        if not (table >> minterm) & 1:
+            continue
+        term = mask
+        for j in range(k):
+            if (minterm >> j) & 1:
+                term &= inputs[j]
+            else:
+                term &= ~inputs[j] & mask
+            if not term:
+                break
+        result |= term
+    return result

@@ -1,0 +1,171 @@
+"""Design-hierarchy tree for back-annotation (paper §5.1).
+
+Partitioning through the design flow "creates a tree structure with
+children being dependent on their parents"; the paper traces a debugging
+change made at any level through the sub-trees of altered nodes down to
+the affected tiles.  :class:`HierNode` is that tree:
+
+* interior nodes are HDL / RTL blocks (e.g. ``mips/alu``, ``des/round7``);
+* every *leaf-level assignment* maps netlist instance names to a node;
+* physical back-annotation attaches tile ids to instances (done by
+  :mod:`repro.tiling`), after which :meth:`HierNode.tiles_below` answers
+  "which tiles does a change to this block touch?".
+
+Quick_ECO (the DAC'97 baseline) stops the trace at *functional blocks* —
+the root's direct children — which is exactly what
+:meth:`HierNode.functional_block_of` returns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import NetlistError
+from repro.netlist.core import Netlist
+
+
+class HierNode:
+    """One node of the design-hierarchy tree."""
+
+    def __init__(self, name: str, parent: "HierNode" | None = None) -> None:
+        self.name = name
+        self.parent = parent
+        self.children: dict[str, HierNode] = {}
+        #: netlist instance names assigned directly to this node
+        self.instances: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # tree construction
+    # ------------------------------------------------------------------
+
+    def add_child(self, name: str) -> "HierNode":
+        if name in self.children:
+            raise NetlistError(f"hierarchy node {self.path()} already has {name!r}")
+        child = HierNode(name, parent=self)
+        self.children[name] = child
+        return child
+
+    def ensure_path(self, path: str) -> "HierNode":
+        """Return (creating as needed) the node at ``a/b/c`` below self."""
+        node = self
+        for part in path.split("/"):
+            if not part:
+                continue
+            node = node.children.get(part) or node.add_child(part)
+        return node
+
+    def assign(self, instance_names: Iterable[str]) -> None:
+        self.instances.update(instance_names)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def path(self) -> str:
+        parts = []
+        node: HierNode | None = self
+        while node is not None and node.parent is not None:
+            parts.append(node.name)
+            node = node.parent
+        return "/".join(reversed(parts)) or "<root>"
+
+    def root(self) -> "HierNode":
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def find(self, path: str) -> "HierNode":
+        node = self
+        for part in path.split("/"):
+            if not part:
+                continue
+            if part not in node.children:
+                raise NetlistError(f"no hierarchy node {path!r} below {self.path()}")
+            node = node.children[part]
+        return node
+
+    def walk(self) -> Iterator["HierNode"]:
+        yield self
+        for child in self.children.values():
+            yield from child.walk()
+
+    def all_instances(self) -> set[str]:
+        """Instances assigned anywhere in this subtree."""
+        names: set[str] = set()
+        for node in self.walk():
+            names |= node.instances
+        return names
+
+    def functional_blocks(self) -> list["HierNode"]:
+        """The coarse CAD-partitioning granularity Quick_ECO works at."""
+        return list(self.root().children.values())
+
+    def functional_block_of(self, instance_name: str) -> "HierNode":
+        """The root-level block containing ``instance_name``."""
+        for block in self.functional_blocks():
+            if instance_name in block.all_instances():
+                return block
+        root = self.root()
+        if instance_name in root.instances:
+            return root
+        raise NetlistError(f"instance {instance_name!r} not in any block")
+
+    def node_of(self, instance_name: str) -> "HierNode":
+        """The deepest node that directly owns ``instance_name``."""
+        for node in self.root().walk():
+            if instance_name in node.instances:
+                return node
+        raise NetlistError(f"instance {instance_name!r} not in hierarchy")
+
+    # ------------------------------------------------------------------
+    # consistency
+    # ------------------------------------------------------------------
+
+    def check_covers(self, netlist: Netlist) -> list[str]:
+        """Report logic instances missing from the hierarchy and stale
+        hierarchy entries (instances no longer in the netlist)."""
+        assigned = self.root().all_instances()
+        logic = {inst.name for inst in netlist.logic_instances()}
+        problems = []
+        for name in sorted(logic - assigned):
+            problems.append(f"instance {name} not assigned to any block")
+        for name in sorted(assigned - logic - {i.name for i in netlist.instances()}):
+            problems.append(f"hierarchy references unknown instance {name}")
+        return problems
+
+    def adopt_new_instances(self, netlist: Netlist, node_path: str = "") -> int:
+        """Assign instances that appeared after an ECO to a node.
+
+        Corrections and instrumentation add cells; the debug flow calls
+        this to keep the tree covering the netlist.  Returns the number
+        of newly adopted instances.
+        """
+        target = self.root().ensure_path(node_path) if node_path else self.root()
+        assigned = self.root().all_instances()
+        fresh = [
+            inst.name
+            for inst in netlist.logic_instances()
+            if inst.name not in assigned
+        ]
+        target.assign(fresh)
+        return len(fresh)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HierNode({self.path()!r}, {len(self.children)} children)"
+
+
+def build_flat_hierarchy(netlist: Netlist, n_blocks: int = 1) -> HierNode:
+    """Hierarchy with ``n_blocks`` equal slices — what a flattened design
+    looks like to Quick_ECO when no structure survived synthesis."""
+    root = HierNode(netlist.name)
+    logic = [inst.name for inst in netlist.logic_instances()]
+    if n_blocks < 1:
+        raise NetlistError("need at least one block")
+    per_block = max(1, (len(logic) + n_blocks - 1) // n_blocks)
+    for b in range(n_blocks):
+        chunk = logic[b * per_block : (b + 1) * per_block]
+        if not chunk and b > 0:
+            break
+        root.add_child(f"block{b}").assign(chunk)
+    return root

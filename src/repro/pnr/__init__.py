@@ -1,0 +1,51 @@
+"""Back-end place-and-route engine with effort accounting.
+
+* :mod:`repro.pnr.effort` — effort presets and the work-unit meter that
+  Figure 5's speedups are computed from.
+* :mod:`repro.pnr.placement` — placement state (site maps, legality).
+* :mod:`repro.pnr.placer` — VPR-style simulated-annealing placer with
+  region constraints and locked blocks.
+* :mod:`repro.pnr.router` — negotiated-congestion maze router with net
+  locking and region confinement.
+* :mod:`repro.pnr.timing` — static timing over placed-and-routed designs.
+* :mod:`repro.pnr.flow` — full-design and region-confined P&R flows,
+  plus the incremental-P&R baseline.
+"""
+
+from repro.pnr.effort import (
+    EffortMeter,
+    EffortPreset,
+    EFFORT_PRESETS,
+    INVOCATION_OVERHEAD_UNITS,
+    ROUTE_EXPANSION_WEIGHT,
+)
+from repro.pnr.placement import PlaceConstraints, Placement
+from repro.pnr.placer import place_design
+from repro.pnr.router import RouteTree, RoutingState, route_nets
+from repro.pnr.timing import TimingModel, critical_path
+from repro.pnr.flow import (
+    Layout,
+    full_place_and_route,
+    incremental_update,
+    replace_region,
+)
+
+__all__ = [
+    "EffortMeter",
+    "EffortPreset",
+    "EFFORT_PRESETS",
+    "INVOCATION_OVERHEAD_UNITS",
+    "ROUTE_EXPANSION_WEIGHT",
+    "PlaceConstraints",
+    "Placement",
+    "place_design",
+    "RouteTree",
+    "RoutingState",
+    "route_nets",
+    "TimingModel",
+    "critical_path",
+    "Layout",
+    "full_place_and_route",
+    "incremental_update",
+    "replace_region",
+]

@@ -1,0 +1,392 @@
+"""Back-end flows: full P&R, region-confined re-P&R, incremental baseline.
+
+Three entry points, all effort-metered:
+
+* :func:`full_place_and_route` — place and route a packed design from
+  scratch (the non-tiled baseline; also what Quick_ECO does to an
+  affected *functional block*, which per paper §6 is the whole design in
+  these experiments);
+* :func:`replace_region` — rip up and re-place/re-route only the blocks
+  in a set of rectangles, keeping everything else locked.  With
+  ``confine_routing`` the reroute preserves route fragments outside the
+  region and reconnects them at the old boundary-crossing cells — the
+  physical meaning of the paper's *locked tile interfaces*;
+* :func:`incremental_update` — the incremental-P&R baseline: rip up a
+  window around the change (growing it when more room is needed) and
+  re-place/re-route globally without interface preservation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.device import Device
+from repro.errors import PlacementError, RoutingError
+from repro.geometry import Rect
+from repro.pnr.effort import EffortMeter, EffortPreset, EFFORT_PRESETS
+from repro.pnr.placement import PlaceConstraints, Placement
+from repro.pnr.placer import place_design
+from repro.pnr.router import (
+    RouteTree,
+    RoutingState,
+    grow_steiner_tree,
+    route_nets,
+)
+from repro.pnr.timing import DEFAULT_TIMING, TimingModel, critical_path
+from repro.synth.pack import PackedDesign
+
+
+@dataclass
+class Layout:
+    """A complete physical implementation of a packed design."""
+
+    packed: PackedDesign
+    device: Device
+    placement: Placement
+    routes: dict[int, RouteTree]
+    state: RoutingState
+
+    def wirelength(self) -> int:
+        return sum(tree.wirelength for tree in self.routes.values())
+
+    def critical_path(self, model: TimingModel = DEFAULT_TIMING) -> float:
+        return critical_path(self.packed, self.placement, self.routes, model)
+
+    def copy(self) -> "Layout":
+        state = RoutingState(self.device)
+        state.usage = dict(self.state.usage)
+        state.history = dict(self.state.history)
+        return Layout(
+            self.packed,
+            self.device,
+            self.placement.copy(),
+            {idx: tree.copy() for idx, tree in self.routes.items()},
+            state,
+        )
+
+
+def full_place_and_route(
+    packed: PackedDesign,
+    device: Device,
+    seed: int = 1,
+    preset: EffortPreset | None = None,
+    meter: EffortMeter | None = None,
+    constraints: PlaceConstraints | None = None,
+    initial: Placement | None = None,
+    movable: set[int] | None = None,
+    strict_routing: bool = True,
+) -> Layout:
+    """Place and route from scratch; one metered tool invocation."""
+    preset = preset or EFFORT_PRESETS["normal"]
+    meter = meter if meter is not None else EffortMeter()
+    meter.begin_invocation()
+    try:
+        placement = place_design(
+            packed,
+            device,
+            seed=seed,
+            preset=preset,
+            meter=meter,
+            initial=initial,
+            constraints=constraints,
+            movable=movable,
+        )
+        state = RoutingState(device)
+        routes = route_nets(
+            packed,
+            device,
+            placement,
+            state=state,
+            preset=preset,
+            meter=meter,
+            strict=strict_routing,
+        )
+    finally:
+        meter.end_invocation()
+    return Layout(packed, device, placement, routes, state)
+
+
+# ----------------------------------------------------------------------
+# region-confined re-place-and-route (the tiling primitive)
+# ----------------------------------------------------------------------
+
+def replace_region(
+    layout: Layout,
+    movable_blocks: set[int],
+    regions: list[Rect],
+    seed: int = 1,
+    preset: EffortPreset | None = None,
+    meter: EffortMeter | None = None,
+    confine_routing: bool = True,
+    extra_nets: list[int] | None = None,
+) -> None:
+    """Re-place ``movable_blocks`` inside ``regions`` and reroute their nets.
+
+    Mutates ``layout`` in place.  Blocks outside the region set never
+    move; with ``confine_routing`` their route fragments outside the
+    region are byte-preserved and reconnected at the old boundary
+    crossings (locked interfaces).  ``extra_nets`` forces a reroute of
+    additional nets (e.g. brand-new nets of inserted test logic).
+    """
+    preset = preset or EFFORT_PRESETS["normal"]
+    meter = meter if meter is not None else EffortMeter()
+    packed, device = layout.packed, layout.device
+    meter.begin_invocation()
+    try:
+        free_sites = _collect_sites(layout, regions)
+        union_region = _bounding_rect(regions)
+
+        # rip movable blocks out of the placement
+        for block in movable_blocks:
+            layout.placement.remove(block)
+
+        region_map = {b: union_region for b in movable_blocks}
+        constraints = PlaceConstraints(
+            regions=region_map, locked=set(), free_sites=free_sites
+        )
+        layout.placement = place_design(
+            packed,
+            device,
+            seed=seed,
+            preset=preset,
+            meter=meter,
+            initial=layout.placement,
+            constraints=constraints,
+            movable=movable_blocks,
+        )
+
+        affected = {
+            net.index
+            for net in packed.nets_touching_blocks(movable_blocks)
+        }
+        if extra_nets:
+            affected.update(extra_nets)
+        _reroute_affected(
+            layout, sorted(affected), regions, union_region,
+            confine_routing, preset, meter,
+        )
+    finally:
+        meter.end_invocation()
+
+
+def _collect_sites(layout: Layout, regions: list[Rect]) -> set[tuple[int, int]]:
+    sites: set[tuple[int, int]] = set()
+    for region in regions:
+        for site in region.sites():
+            if layout.device.is_clb_site(*site):
+                sites.add(site)
+    return sites
+
+
+def _bounding_rect(regions: list[Rect]) -> Rect:
+    if not regions:
+        raise PlacementError("replace_region needs at least one region")
+    rect = regions[0]
+    for region in regions[1:]:
+        rect = rect.union(region)
+    return rect
+
+
+def _reroute_affected(
+    layout: Layout,
+    net_indices: list[int],
+    regions: list[Rect],
+    union_region: Rect,
+    confine_routing: bool,
+    preset: EffortPreset,
+    meter: EffortMeter,
+) -> None:
+    packed, device = layout.packed, layout.device
+
+    def inside(cell: tuple[int, int]) -> bool:
+        return any(r.contains(*cell) for r in regions)
+
+    confined: list[int] = []
+    for net_idx in net_indices:
+        net = packed.nets[net_idx]
+        terminals = [layout.placement.site_of(b) for b in (net.driver, *net.sinks)]
+        old = layout.routes.pop(net_idx, None)
+        if old is not None:
+            layout.state.remove(old)
+
+        if all(inside(t) for t in terminals):
+            confined.append(net_idx)
+            continue
+
+        if confine_routing and old is not None:
+            tree = _reroute_with_locked_interface(
+                layout, net_idx, old, inside, union_region, meter
+            )
+        else:
+            tree = None
+        if tree is None:
+            # new inter-region net (or confinement disabled): global route
+            fresh = route_nets(
+                packed, device, layout.placement, [net_idx],
+                state=layout.state, preset=preset, meter=meter, strict=False,
+            )
+            layout.routes.update(fresh)
+        else:
+            layout.routes[net_idx] = tree
+            layout.state.add(tree)
+
+    if confined:
+        fresh = route_nets(
+            packed, device, layout.placement, confined,
+            state=layout.state, region=union_region,
+            preset=preset, meter=meter, strict=False,
+        )
+        layout.routes.update(fresh)
+
+
+def _reroute_with_locked_interface(
+    layout: Layout,
+    net_idx: int,
+    old: RouteTree,
+    inside,
+    union_region: Rect,
+    meter: EffortMeter,
+) -> RouteTree | None:
+    """Keep the route outside the region; rebuild only the inside part.
+
+    Returns None when the old route never touched the region (shouldn't
+    happen for affected nets) or reconnection fails, in which case the
+    caller falls back to a global reroute.
+    """
+    packed = layout.packed
+    net = packed.nets[net_idx]
+
+    # a brand-new terminal outside the region (e.g. a fresh observation
+    # pin on the IOB ring) cannot hang off the kept fragment — reroute
+    # the whole net instead
+    for sink in net.sinks:
+        site = layout.placement.site_of(sink)
+        if site not in old.cells and not inside(site):
+            return None
+    driver_site_check = layout.placement.site_of(net.driver)
+    if driver_site_check not in old.cells and not inside(driver_site_check):
+        return None
+
+    outside_edges = {e for e in old.edges if not (inside(e[0]) and inside(e[1]))}
+    # boundary anchors: cells of kept edges that sit inside the region,
+    # plus outside fragment cells adjacent to the region
+    anchors: set[tuple[int, int]] = set()
+    outside_cells: set[tuple[int, int]] = set()
+    for a, b in outside_edges:
+        for cell in (a, b):
+            if inside(cell):
+                anchors.add(cell)
+            else:
+                outside_cells.add(cell)
+    if not outside_edges:
+        return None
+
+    driver_site = layout.placement.site_of(net.driver)
+    inside_sinks = [
+        layout.placement.site_of(s)
+        for s in net.sinks
+        if inside(layout.placement.site_of(s))
+    ]
+    if inside(driver_site):
+        seeds = {driver_site}
+        targets = list(anchors) + inside_sinks
+    else:
+        if anchors:
+            seeds = set(anchors)
+        else:
+            # route never crossed: seed at the outside cell closest to region
+            seeds = {min(outside_cells)}
+        targets = inside_sinks + [a for a in anchors if a not in seeds]
+
+    try:
+        cells, edges, hops = grow_steiner_tree(
+            layout.device, seeds, targets, layout.state,
+            region=union_region, meter=meter,
+        )
+    except RoutingError:
+        return None
+
+    tree = RouteTree(net_idx)
+    tree.cells = cells | outside_cells | anchors
+    tree.edges = edges | outside_edges
+    tree.sink_hops = dict(old.sink_hops)
+    for s in net.sinks:
+        site = layout.placement.site_of(s)
+        if site in hops:
+            tree.sink_hops[s] = hops[site]
+    return tree
+
+
+# ----------------------------------------------------------------------
+# incremental place-and-route baseline
+# ----------------------------------------------------------------------
+
+def incremental_update(
+    layout: Layout,
+    changed_blocks: set[int],
+    new_blocks: set[int] | None = None,
+    needed_free_sites: int | None = None,
+    seed: int = 1,
+    preset: EffortPreset | None = None,
+    meter: EffortMeter | None = None,
+    margin: int = 2,
+    extra_nets: list[int] | None = None,
+) -> Rect:
+    """The incremental-P&R baseline: rip up a window around the change.
+
+    The window starts at the bounding box of ``changed_blocks`` expanded
+    by ``margin`` and grows until it holds enough empty sites for the
+    (unplaced) ``new_blocks`` — modelling the paper's observation that
+    incremental tools "re-place-and-route a much larger portion of the
+    design to make sufficient room for the new logic".  Routing of
+    affected nets is global (no interface locking).  Returns the final
+    window.
+    """
+    preset = preset or EFFORT_PRESETS["normal"]
+    meter = meter if meter is not None else EffortMeter()
+    device = layout.device
+    new_blocks = new_blocks or set()
+    new_clbs = {
+        b for b in new_blocks if layout.packed.blocks[b].is_clb
+    }
+    if needed_free_sites is None:
+        needed_free_sites = len(new_clbs)
+
+    sites = [
+        layout.placement.site_of(b)
+        for b in changed_blocks
+        if layout.placement.is_placed(b)
+    ]
+    if not sites:
+        raise PlacementError("incremental update needs at least one placed block")
+    window = Rect(
+        min(s[0] for s in sites),
+        min(s[1] for s in sites),
+        max(s[0] for s in sites),
+        max(s[1] for s in sites),
+    ).expanded(margin, clip=device.clb_region)
+
+    while True:
+        occupied = len(layout.placement.blocks_in_region(window))
+        if window.area - occupied >= needed_free_sites:
+            break
+        if window == device.clb_region:
+            break
+        window = window.expanded(1, clip=device.clb_region)
+
+    movable = (
+        set(layout.placement.blocks_in_region(window))
+        | set(changed_blocks)
+        | new_clbs
+    )
+    replace_region(
+        layout,
+        movable,
+        [window],
+        seed=seed,
+        preset=preset,
+        meter=meter,
+        confine_routing=False,
+        extra_nets=extra_nets,
+    )
+    return window

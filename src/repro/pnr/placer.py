@@ -1,0 +1,344 @@
+"""Simulated-annealing placer (VPR-style) with tiling constraints.
+
+The annealer is the workhorse behind every experiment: initial placement
+of whole designs, slack-aware tiled placement, tile-confined re-placement
+and the incremental baseline's window re-placement all call
+:func:`place_design` with different constraint sets.
+
+Key features:
+
+* classic adaptive schedule — starting temperature from sampled move
+  statistics, acceptance-driven cooling, shrinking range limiter;
+* **region constraints** per block (tile rectangles) and **locked**
+  blocks (the paper's "all resources are locked" default);
+* wirelength cost = half-perimeter per net scaled by the usual
+  fanout correction factor;
+* every proposed move is charged to an :class:`EffortMeter`, which is
+  how Figure 5's effort comparison is measured.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.arch.device import Device
+from repro.errors import PlacementError
+from repro.pnr.effort import EffortMeter, EffortPreset, EFFORT_PRESETS
+from repro.pnr.placement import PlaceConstraints, Placement
+from repro.rng import make_rng
+from repro.synth.pack import BlockKind, PackedDesign
+
+#: VPR crossing-count correction for multi-terminal net HPWL.
+_CROSSING = [
+    1.0, 1.0, 1.0, 1.0, 1.0828, 1.1536, 1.2206, 1.2823, 1.3385, 1.3991,
+    1.4493, 1.4974, 1.5455, 1.5937, 1.6418, 1.6899, 1.7304, 1.7709, 1.8114,
+    1.8519, 1.8924,
+]
+
+
+def q_factor(n_terminals: int) -> float:
+    if n_terminals < len(_CROSSING):
+        return _CROSSING[n_terminals]
+    return 1.8924 + 0.02616 * (n_terminals - len(_CROSSING) + 1)
+
+
+def place_design(
+    packed: PackedDesign,
+    device: Device,
+    seed: int = 1,
+    preset: EffortPreset | None = None,
+    meter: EffortMeter | None = None,
+    initial: Placement | None = None,
+    constraints: PlaceConstraints | None = None,
+    movable: set[int] | None = None,
+) -> Placement:
+    """Place ``packed`` on ``device`` and return the placement.
+
+    ``movable`` selects which CLB blocks the annealer may touch (default:
+    every CLB not locked by ``constraints``); all other blocks must
+    already be placed by ``initial``.  IOB blocks missing from
+    ``initial`` are spread deterministically around the ring.
+    """
+    preset = preset or EFFORT_PRESETS["normal"]
+    meter = meter if meter is not None else EffortMeter()
+    constraints = constraints or PlaceConstraints()
+    rng = make_rng(seed, "place", packed.netlist.name)
+
+    placement = initial.copy() if initial is not None else Placement(device, packed)
+
+    clb_indices = {b.index for b in packed.clb_blocks()}
+    if movable is None:
+        movable_set = clb_indices - constraints.locked
+    else:
+        movable_set = set(movable) & clb_indices - constraints.locked
+
+    _place_iobs(packed, device, placement)
+    _seed_movable(packed, device, placement, constraints, movable_set, rng)
+    _check_unmovable_placed(packed, placement, movable_set)
+
+    if movable_set:
+        _anneal(
+            packed, device, placement, constraints, movable_set, rng, preset, meter
+        )
+    placement.check_complete()
+    return placement
+
+
+# ----------------------------------------------------------------------
+# initial placement
+# ----------------------------------------------------------------------
+
+def _place_iobs(packed: PackedDesign, device: Device, placement: Placement) -> None:
+    unplaced = [
+        b for b in packed.io_blocks() if not placement.is_placed(b.index)
+    ]
+    if not unplaced:
+        return
+    slots = device.io_slots()
+    fill: dict[tuple[int, int], int] = {
+        slot: len(pads) for slot, pads in placement.io_at.items()
+    }
+    n = len(unplaced)
+    if n > device.spec.io_capacity:
+        raise PlacementError(
+            f"{n} IOBs exceed device capacity {device.spec.io_capacity}"
+        )
+    for i, block in enumerate(unplaced):
+        start = (i * len(slots)) // max(1, n)
+        for probe in range(len(slots)):
+            slot = slots[(start + probe) % len(slots)]
+            if fill.get(slot, 0) < device.io_per_slot:
+                placement.place_io(block.index, slot)
+                fill[slot] = fill.get(slot, 0) + 1
+                break
+        else:
+            raise PlacementError("ran out of IOB slots")
+
+
+def _seed_movable(
+    packed: PackedDesign,
+    device: Device,
+    placement: Placement,
+    constraints: PlaceConstraints,
+    movable: set[int],
+    rng,
+) -> None:
+    """Random initial site for movable blocks lacking one."""
+    todo = sorted(b for b in movable if not placement.is_placed(b))
+    if not todo:
+        return
+    by_region: dict[object, list[int]] = {}
+    for b in todo:
+        key = constraints.region_of(b, device)
+        by_region.setdefault(key, []).append(b)
+    for region, blocks in by_region.items():
+        sites = [
+            s
+            for s in placement.free_clb_sites_in(region)
+            if constraints.free_sites is None or s in constraints.free_sites
+        ]
+        if len(sites) < len(blocks):
+            raise PlacementError(
+                f"region {region} has {len(sites)} free sites for "
+                f"{len(blocks)} blocks"
+            )
+        rng.shuffle(sites)
+        for block, site in zip(blocks, sites):
+            placement.place_clb(block, site)
+
+
+def _check_unmovable_placed(
+    packed: PackedDesign, placement: Placement, movable: set[int]
+) -> None:
+    for block in packed.clb_blocks():
+        if block.index not in movable and not placement.is_placed(block.index):
+            raise PlacementError(
+                f"immovable block {block.name} has no initial site"
+            )
+
+
+# ----------------------------------------------------------------------
+# annealing
+# ----------------------------------------------------------------------
+
+def _anneal(
+    packed: PackedDesign,
+    device: Device,
+    placement: Placement,
+    constraints: PlaceConstraints,
+    movable: set[int],
+    rng,
+    preset: EffortPreset,
+    meter: EffortMeter,
+) -> None:
+    nets_of_block: dict[int, list[int]] = {b: [] for b in movable}
+    active_nets: list[int] = []
+    terminals: dict[int, list[int]] = {}
+    for net in packed.nets.values():
+        blocks = [net.driver, *net.sinks]
+        if not any(b in movable for b in blocks):
+            continue
+        active_nets.append(net.index)
+        terminals[net.index] = blocks
+        for b in blocks:
+            if b in movable:
+                nets_of_block[b].append(net.index)
+
+    if not active_nets:
+        return
+
+    pos = placement.pos
+
+    def net_cost(net_idx: int) -> float:
+        pts = [pos[b] for b in terminals[net_idx]]
+        xs = [p[0] for p in pts]
+        ys = [p[1] for p in pts]
+        span = (max(xs) - min(xs)) + (max(ys) - min(ys))
+        return span * q_factor(len(pts))
+
+    cost_cache = {n: net_cost(n) for n in active_nets}
+    total = sum(cost_cache.values())
+
+    movable_list = sorted(movable)
+    temperature = _initial_temperature(
+        placement, constraints, device, movable_list, nets_of_block, net_cost,
+        cost_cache, rng, meter,
+    )
+    total = sum(cost_cache.values())  # sampling restored state; recompute
+
+    rlim = float(max(device.nx, device.ny))
+    moves_per_temp = max(4, int(preset.inner_num * len(movable_list) ** (4 / 3)))
+    # small problems converge in few temperatures; cap the schedule so a
+    # six-CLB tile job really is cheap (the effect Figure 5 measures)
+    max_temps = min(400, 40 + 12 * int(len(movable_list) ** 0.5))
+
+    for _ in range(max_temps):
+        accepted = 0
+        for _ in range(moves_per_temp):
+            meter.place_moves += 1
+            delta = _try_move(
+                placement, device, constraints, movable, movable_list,
+                nets_of_block, net_cost, cost_cache, rng, temperature, rlim,
+            )
+            if delta is not None:
+                total += delta
+                accepted += 1
+        rate = accepted / moves_per_temp
+        temperature *= _cooling_factor(rate)
+        rlim = min(
+            float(max(device.nx, device.ny)),
+            max(1.0, rlim * (1.0 - 0.44 + rate)),
+        )
+        if temperature < preset.exit_ratio * max(total, 1.0) / len(active_nets):
+            break
+
+    # zero-temperature quench: greedy pass accepting only improvements
+    for _ in range(moves_per_temp):
+        meter.place_moves += 1
+        delta = _try_move(
+            placement, device, constraints, movable, movable_list,
+            nets_of_block, net_cost, cost_cache, rng, 0.0, max(1.0, rlim),
+        )
+        if delta is not None:
+            total += delta
+
+
+def _initial_temperature(
+    placement, constraints, device, movable_list, nets_of_block, net_cost,
+    cost_cache, rng, meter,
+) -> float:
+    """VPR rule: T0 = 20 x stddev of cost over a random-move sample."""
+    deltas = []
+    samples = min(60, 5 * len(movable_list))
+    for _ in range(samples):
+        meter.place_moves += 1
+        delta = _try_move(
+            placement, device, constraints, set(movable_list), movable_list,
+            nets_of_block, net_cost, cost_cache, rng,
+            temperature=float("inf"), rlim=float(max(device.nx, device.ny)),
+        )
+        if delta is not None:
+            deltas.append(delta)
+    if len(deltas) < 2:
+        return 1.0
+    mean = sum(deltas) / len(deltas)
+    var = sum((d - mean) ** 2 for d in deltas) / (len(deltas) - 1)
+    return max(1e-6, 20.0 * math.sqrt(var))
+
+
+def _cooling_factor(acceptance_rate: float) -> float:
+    if acceptance_rate > 0.96:
+        return 0.5
+    if acceptance_rate > 0.8:
+        return 0.9
+    if acceptance_rate > 0.15:
+        return 0.95
+    return 0.8
+
+
+def _try_move(
+    placement: Placement,
+    device: Device,
+    constraints: PlaceConstraints,
+    movable: set[int],
+    movable_list: list[int],
+    nets_of_block: dict[int, list[int]],
+    net_cost,
+    cost_cache: dict[int, float],
+    rng,
+    temperature: float,
+    rlim: float,
+) -> float | None:
+    """Propose one displace/swap; returns accepted delta or None."""
+    block = movable_list[rng.randrange(len(movable_list))]
+    bx, by = placement.pos[block]
+    region = constraints.region_of(block, device)
+    span = max(1, int(rlim))
+    xlo, xhi = max(region.x0, bx - span), min(region.x1, bx + span)
+    ylo, yhi = max(region.y0, by - span), min(region.y1, by + span)
+    site = (rng.randint(xlo, xhi), rng.randint(ylo, yhi))
+    if site == (bx, by):
+        return None
+    if constraints.free_sites is not None and site not in constraints.free_sites:
+        return None
+
+    occupant = placement.clb_at.get(site)
+    if occupant is not None:
+        if occupant not in movable:
+            return None
+        if not constraints.allows_site(occupant, (bx, by), device):
+            return None
+
+    affected = list(nets_of_block[block])
+    if occupant is not None:
+        affected.extend(
+            n for n in nets_of_block[occupant] if n not in nets_of_block[block]
+        )
+    old_costs = [cost_cache[n] for n in affected]
+
+    if occupant is None:
+        placement.move_clb(block, site)
+    else:
+        placement.swap_clbs(block, occupant)
+
+    delta = 0.0
+    new_costs = []
+    for n in affected:
+        c = net_cost(n)
+        new_costs.append(c)
+        delta += c - cost_cache[n]
+
+    accept = delta <= 0 or (
+        temperature > 0
+        and rng.random() < math.exp(-delta / temperature)
+    )
+    if not accept:
+        if occupant is None:
+            placement.move_clb(block, (bx, by))
+        else:
+            placement.swap_clbs(block, occupant)
+        return None
+
+    for n, c in zip(affected, new_costs):
+        cost_cache[n] = c
+    return delta

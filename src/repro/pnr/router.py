@@ -1,0 +1,295 @@
+"""Negotiated-congestion maze router with locking and region confinement.
+
+The routing fabric is the cell grid (CLB array plus IOB ring); every pair
+of adjacent routable cells is a channel segment with
+``device.channel_width`` tracks.  A net's route is a Steiner tree of grid
+cells grown sink-by-sink with A*.
+
+PathFinder-style negotiation: nets are routed with a congestion cost
+``1 + pres_fac * overuse + hist``; after each iteration nets crossing
+over-capacity edges are ripped up and re-routed with a larger
+``pres_fac`` until the solution is feasible.
+
+Tiling hooks:
+
+* **locked routes** — existing routes (from untouched tiles) stay in the
+  usage map and are never ripped up, exactly like locked layout;
+* **region confinement** — expansion can be limited to a rectangle, so a
+  tile-confined re-route physically cannot disturb its surroundings;
+* every node expansion is charged to the :class:`EffortMeter`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.arch.device import Device
+from repro.errors import RoutingError
+from repro.geometry import Rect, manhattan
+from repro.pnr.effort import EffortMeter, EffortPreset, EFFORT_PRESETS
+from repro.pnr.placement import Placement
+from repro.synth.pack import PackedDesign
+
+Edge = tuple[tuple[int, int], tuple[int, int]]
+
+
+def _edge(a: tuple[int, int], b: tuple[int, int]) -> Edge:
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass
+class RouteTree:
+    """One net's route: tree cells, edges, and per-sink path lengths."""
+
+    net_index: int
+    cells: set[tuple[int, int]] = field(default_factory=set)
+    edges: set[Edge] = field(default_factory=set)
+    sink_hops: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def wirelength(self) -> int:
+        return len(self.edges)
+
+    def copy(self) -> "RouteTree":
+        return RouteTree(
+            self.net_index, set(self.cells), set(self.edges), dict(self.sink_hops)
+        )
+
+
+class RoutingState:
+    """Shared channel-usage bookkeeping across all routed nets."""
+
+    def __init__(self, device: Device) -> None:
+        self.device = device
+        self.usage: dict[Edge, int] = {}
+        self.history: dict[Edge, float] = {}
+
+    def add(self, route: RouteTree) -> None:
+        for edge in route.edges:
+            self.usage[edge] = self.usage.get(edge, 0) + 1
+
+    def remove(self, route: RouteTree) -> None:
+        for edge in route.edges:
+            left = self.usage.get(edge, 0) - 1
+            if left > 0:
+                self.usage[edge] = left
+            else:
+                self.usage.pop(edge, None)
+
+    def overused_edges(self) -> list[Edge]:
+        cap = self.device.channel_width
+        return [e for e, u in self.usage.items() if u > cap]
+
+    def congestion_cost(self, edge: Edge, pres_fac: float) -> float:
+        cap = self.device.channel_width
+        over = self.usage.get(edge, 0) + 1 - cap
+        cost = 1.0 + self.history.get(edge, 0.0)
+        if over > 0:
+            cost += pres_fac * over
+        return cost
+
+    def bump_history(self, hist_fac: float = 0.4) -> None:
+        cap = self.device.channel_width
+        for edge, used in self.usage.items():
+            if used > cap:
+                self.history[edge] = self.history.get(edge, 0.0) + hist_fac
+
+
+def route_nets(
+    packed: PackedDesign,
+    device: Device,
+    placement: Placement,
+    net_indices: list[int] | None = None,
+    state: RoutingState | None = None,
+    region: Rect | None = None,
+    preset: EffortPreset | None = None,
+    meter: EffortMeter | None = None,
+    strict: bool = True,
+) -> dict[int, RouteTree]:
+    """Route the given nets (default: all); returns net index → tree.
+
+    ``state`` carries usage from locked routes; routes created here are
+    added to it.  With ``region`` every new route is confined to the
+    rectangle (terminals must lie inside).  With ``strict`` a residual
+    over-capacity edge raises :class:`RoutingError`.
+    """
+    preset = preset or EFFORT_PRESETS["normal"]
+    meter = meter if meter is not None else EffortMeter()
+    state = state if state is not None else RoutingState(device)
+    if net_indices is None:
+        net_indices = [n.index for n in packed.nets.values()]
+
+    routes: dict[int, RouteTree] = {}
+    pres_fac = 0.5
+    todo = list(net_indices)
+    for iteration in range(preset.router_iterations):
+        for net_idx in todo:
+            old = routes.pop(net_idx, None)
+            if old is not None:
+                state.remove(old)
+            tree = _route_one(
+                packed, device, placement, net_idx, state, region, pres_fac, meter
+            )
+            routes[net_idx] = tree
+            state.add(tree)
+
+        over = set(state.overused_edges())
+        if not over:
+            break
+        state.bump_history()
+        pres_fac *= 2.0
+        todo = [
+            idx for idx, tree in routes.items() if tree.edges & over
+        ]
+        if not todo:
+            break
+    else:
+        over = set(state.overused_edges())
+        if over and strict:
+            raise RoutingError(
+                f"{len(over)} channel segments over capacity after "
+                f"{preset.router_iterations} iterations"
+            )
+
+    residual = state.overused_edges()
+    if residual and strict:
+        # Only fail when one of *our* nets is involved; pre-existing
+        # locked congestion is the caller's responsibility.
+        ours = {e for t in routes.values() for e in t.edges}
+        if any(e in ours for e in residual):
+            raise RoutingError(
+                f"{len(residual)} channel segments over capacity"
+            )
+    return routes
+
+
+def grow_steiner_tree(
+    device: Device,
+    seed_cells: set[tuple[int, int]],
+    targets: list[tuple[int, int]],
+    state: RoutingState,
+    region: Rect | None = None,
+    pres_fac: float = 2.0,
+    meter: EffortMeter | None = None,
+) -> tuple[set[tuple[int, int]], set[Edge], dict[tuple[int, int], int]]:
+    """Grow a tree from ``seed_cells`` reaching every target cell.
+
+    This is the primitive behind interface-preserving tile reroutes: the
+    seeds are the locked boundary-crossing cells (or the driver site) and
+    the targets are the sinks inside the tile plus the remaining
+    crossings.  Returns (cells, edges, hops per target).
+    """
+    meter = meter if meter is not None else EffortMeter()
+    cells = set(seed_cells)
+    edges: set[Edge] = set()
+    hops: dict[tuple[int, int], int] = {}
+    for target in sorted(
+        targets, key=lambda t: min((manhattan(t, s) for s in cells), default=0)
+    ):
+        if target in cells:
+            hops[target] = 0
+            continue
+        path = _astar(device, cells, target, state, region, pres_fac, meter)
+        if path is None:
+            raise RoutingError(
+                f"no path to {target}"
+                + (f" within region {region}" if region else "")
+            )
+        hops[target] = len(path) - 1
+        prev = path[0]
+        for cell in path[1:]:
+            edges.add(_edge(prev, cell))
+            cells.add(cell)
+            prev = cell
+    return cells, edges, hops
+
+
+def _route_one(
+    packed: PackedDesign,
+    device: Device,
+    placement: Placement,
+    net_idx: int,
+    state: RoutingState,
+    region: Rect | None,
+    pres_fac: float,
+    meter: EffortMeter,
+) -> RouteTree:
+    net = packed.nets[net_idx]
+    source = placement.site_of(net.driver)
+    sinks = [(placement.site_of(s), s) for s in net.sinks]
+    tree = RouteTree(net_idx)
+    tree.cells.add(source)
+
+    for target, sink_block in sorted(
+        sinks, key=lambda item: (manhattan(source, item[0]), item[1])
+    ):
+        if target in tree.cells:
+            tree.sink_hops[sink_block] = 0
+            continue
+        path = _astar(
+            device, tree.cells, target, state, region, pres_fac, meter
+        )
+        if path is None:
+            raise RoutingError(
+                f"net {net.name}: no path from tree to {target}"
+                + (f" within region {region}" if region else "")
+            )
+        tree.sink_hops[sink_block] = len(path) - 1
+        prev = path[0]
+        for cell in path[1:]:
+            tree.edges.add(_edge(prev, cell))
+            tree.cells.add(cell)
+            prev = cell
+    return tree
+
+
+def _astar(
+    device: Device,
+    sources: set[tuple[int, int]],
+    target: tuple[int, int],
+    state: RoutingState,
+    region: Rect | None,
+    pres_fac: float,
+    meter: EffortMeter,
+):
+    """Multi-source A* over the cell grid; returns source→target path."""
+    open_heap: list[tuple[float, int, tuple[int, int]]] = []
+    best: dict[tuple[int, int], float] = {}
+    parent: dict[tuple[int, int], tuple[int, int] | None] = {}
+    counter = 0
+    for cell in sources:
+        h = manhattan(cell, target)
+        heapq.heappush(open_heap, (h, counter, cell))
+        counter += 1
+        best[cell] = 0.0
+        parent[cell] = None
+
+    while open_heap:
+        f, _, cell = heapq.heappop(open_heap)
+        g = best[cell]
+        if f - manhattan(cell, target) > g + 1e-9:
+            continue  # stale entry
+        meter.route_expansions += 1
+        if cell == target:
+            path = [cell]
+            while parent[cell] is not None:
+                cell = parent[cell]
+                path.append(cell)
+            path.reverse()
+            return path
+        for nxt in device.neighbors(*cell):
+            if region is not None and not (
+                region.contains(*nxt) or nxt == target
+            ):
+                continue
+            cost = g + state.congestion_cost(_edge(cell, nxt), pres_fac)
+            if cost < best.get(nxt, float("inf")) - 1e-12:
+                best[nxt] = cost
+                parent[nxt] = cell
+                heapq.heappush(
+                    open_heap,
+                    (cost + manhattan(nxt, target), counter, nxt),
+                )
+                counter += 1
+    return None

@@ -1,0 +1,104 @@
+"""Static timing analysis over a placed-and-routed design.
+
+Instance-level STA with a simple but placement-sensitive delay model:
+
+* every LUT evaluation costs :attr:`TimingModel.t_lut`;
+* a net between two BLEs of the same CLB costs :attr:`TimingModel.t_intra`;
+* an inter-block net costs a base plus a per-hop term, where hops come
+  from the *actual routed path* when available (Manhattan distance as a
+  fallback for unrouted estimates).
+
+The clock period is the worst register-to-register / input-to-register /
+register-to-output path, which is what Table 1's "timing overhead"
+compares between tiled and untiled layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import manhattan
+from repro.netlist.cells import CellKind
+from repro.pnr.placement import Placement
+from repro.pnr.router import RouteTree
+from repro.synth.pack import PackedDesign
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Delay constants, loosely XC4000-3 speed-grade shaped (ns)."""
+
+    t_lut: float = 1.2
+    t_clk_to_q: float = 0.8
+    t_setup: float = 0.6
+    t_intra: float = 0.15
+    t_wire_base: float = 0.4
+    t_wire_hop: float = 0.25
+
+    def net_delay(self, hops: int | None, same_block: bool) -> float:
+        if same_block:
+            return self.t_intra
+        h = hops if hops is not None else 0
+        return self.t_wire_base + self.t_wire_hop * h
+
+
+DEFAULT_TIMING = TimingModel()
+
+
+def critical_path(
+    packed: PackedDesign,
+    placement: Placement,
+    routes: dict[int, RouteTree] | None = None,
+    model: TimingModel = DEFAULT_TIMING,
+) -> float:
+    """Worst path delay (ns) of the placed (and optionally routed) design."""
+    netlist = packed.netlist
+    block_of = packed.block_of_instance
+    net_to_blocknet = {bn.name: bn for bn in packed.nets.values()}
+
+    def wire_delay(net, sink_inst) -> float:
+        driver = net.driver
+        if driver is None:
+            return 0.0
+        src_block = block_of.get(driver.name)
+        dst_block = block_of.get(sink_inst.name)
+        if src_block is None or dst_block is None or src_block == dst_block:
+            return model.t_intra
+        hops: int | None = None
+        blocknet = net_to_blocknet.get(net.name)
+        if blocknet is not None and routes is not None:
+            tree = routes.get(blocknet.index)
+            if tree is not None:
+                hops = tree.sink_hops.get(dst_block)
+        if hops is None:
+            hops = manhattan(
+                placement.site_of(src_block), placement.site_of(dst_block)
+            )
+        return model.net_delay(hops, same_block=False)
+
+    arrival: dict[str, float] = {}
+    worst = 0.0
+    for inst in netlist.topo_order():
+        if inst.kind is CellKind.INPUT:
+            arrival[inst.output.name] = 0.0
+            continue
+        if inst.kind is CellKind.DFF:
+            arrival[inst.output.name] = model.t_clk_to_q
+            continue
+        in_times = [
+            arrival.get(net.name, 0.0) + wire_delay(net, inst)
+            for net in inst.inputs
+        ]
+        t_in = max(in_times, default=0.0)
+        if inst.kind is CellKind.OUTPUT:
+            worst = max(worst, t_in)
+            continue
+        t_out = t_in + (model.t_lut if inst.kind is CellKind.LUT else 0.0)
+        arrival[inst.output.name] = t_out
+
+    # register setup paths: D-pin arrivals
+    for ff in netlist.flip_flops():
+        d_net = ff.inputs[0]
+        t = arrival.get(d_net.name, 0.0) + wire_delay(d_net, ff) + model.t_setup
+        worst = max(worst, t)
+    return worst

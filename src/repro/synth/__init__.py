@@ -1,0 +1,29 @@
+"""Front-end synthesis: gate decomposition, LUT mapping, CLB packing.
+
+* :mod:`repro.synth.techmap` — turn an arbitrary gate netlist into a
+  netlist of 4-input LUTs, DFFs and IOs (the XC4000 primitive set).
+* :mod:`repro.synth.pack` — group LUT/FF pairs into two-BLE CLBs and
+  derive the block-level netlist that placement and routing operate on.
+"""
+
+from repro.synth.techmap import map_to_luts
+from repro.synth.pack import (
+    BLE,
+    Block,
+    BlockKind,
+    BlockNet,
+    CLB,
+    PackedDesign,
+    pack_netlist,
+)
+
+__all__ = [
+    "map_to_luts",
+    "BLE",
+    "Block",
+    "BlockKind",
+    "BlockNet",
+    "CLB",
+    "PackedDesign",
+    "pack_netlist",
+]

@@ -1,0 +1,258 @@
+"""Technology mapping: gate netlist → 4-input LUT netlist.
+
+The mapper works in three passes, all functional-equivalence preserving
+(the property-based tests check mapped-vs-original simulation):
+
+1. **decompose** — split gates wider than four inputs into trees of
+   four-input gates of the same kind (all our n-ary kinds associate,
+   with NAND/NOR handled by splitting into AND/OR trees with a final
+   inverting stage);
+2. **absorb** — convert every remaining combinational gate into a LUT
+   with the equivalent truth table, folding constant inputs away;
+3. **collapse** — greedily merge single-fanout LUT pairs whose combined
+   support still fits four inputs (a light-weight stand-in for
+   FlowMap-style depth-aware covering; adequate because the paper's
+   experiments depend on cell counts, not mapping optimality).
+
+The output netlist contains only INPUT, OUTPUT, LUT and DFF instances.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SynthesisError
+from repro.netlist.cells import (
+    CellKind,
+    GATE_KINDS,
+    LUT_MAX_INPUTS,
+    eval_lut,
+    lut_table_for_gate,
+)
+from repro.netlist.core import Instance, Netlist
+
+_SPLITTABLE = {
+    CellKind.AND: (CellKind.AND, False),
+    CellKind.OR: (CellKind.OR, False),
+    CellKind.XOR: (CellKind.XOR, False),
+    CellKind.NAND: (CellKind.AND, True),
+    CellKind.NOR: (CellKind.OR, True),
+    CellKind.XNOR: (CellKind.XOR, True),
+}
+
+
+def map_to_luts(netlist: Netlist, collapse: bool = True) -> Netlist:
+    """Return a new netlist mapped onto the XC4000 primitive set."""
+    mapped = netlist.copy(f"{netlist.name}.mapped")
+    _decompose_wide_gates(mapped)
+    _absorb_gates_into_luts(mapped)
+    if collapse:
+        _collapse_lut_pairs(mapped)
+    _specialize_constants(mapped)
+    mapped.prune_dangling()
+    _check_only_primitives(mapped)
+    return mapped
+
+
+# ----------------------------------------------------------------------
+# pass 1: decomposition
+# ----------------------------------------------------------------------
+
+def _decompose_wide_gates(netlist: Netlist) -> None:
+    wide = [
+        inst
+        for inst in list(netlist.instances())
+        if inst.kind in _SPLITTABLE and len(inst.inputs) > LUT_MAX_INPUTS
+    ]
+    for inst in wide:
+        base_kind, invert = _SPLITTABLE[inst.kind]
+        inputs = list(inst.inputs)
+        output = inst.output
+        netlist.remove_instance(inst)
+        layer = inputs
+        while len(layer) > LUT_MAX_INPUTS:
+            nxt = []
+            for i in range(0, len(layer), LUT_MAX_INPUTS):
+                chunk = layer[i : i + LUT_MAX_INPUTS]
+                if len(chunk) == 1:
+                    nxt.append(chunk[0])
+                else:
+                    nxt.append(netlist.add_gate(base_kind, chunk))
+            layer = nxt
+        final_kind = base_kind if not invert else _INVERTED[base_kind]
+        netlist.add_instance(final_kind, layer, name=inst.name, output=output)
+
+
+_INVERTED = {
+    CellKind.AND: CellKind.NAND,
+    CellKind.OR: CellKind.NOR,
+    CellKind.XOR: CellKind.XNOR,
+}
+
+
+# ----------------------------------------------------------------------
+# pass 2: gate → LUT absorption
+# ----------------------------------------------------------------------
+
+def _absorb_gates_into_luts(netlist: Netlist) -> None:
+    for inst in list(netlist.instances()):
+        if inst.kind not in GATE_KINDS:
+            continue
+        if inst.kind in (CellKind.CONST0, CellKind.CONST1):
+            continue  # handled by constant specialization
+        if len(inst.inputs) > LUT_MAX_INPUTS:
+            raise SynthesisError(
+                f"{inst.name}: {len(inst.inputs)}-input {inst.kind} survived "
+                "decomposition"
+            )
+        table = lut_table_for_gate(inst.kind, len(inst.inputs))
+        inputs = list(inst.inputs)
+        output = inst.output
+        name = inst.name
+        netlist.remove_instance(inst)
+        netlist.add_lut(inputs, table, name=name, output=output)
+
+
+# ----------------------------------------------------------------------
+# pass 3: single-fanout collapse
+# ----------------------------------------------------------------------
+
+def _collapse_lut_pairs(netlist: Netlist) -> None:
+    """Merge driver LUTs with single fanout into their consumer when the
+    merged support fits in four variables.  Runs to a fixpoint."""
+    changed = True
+    while changed:
+        changed = False
+        for consumer in list(netlist.instances()):
+            if consumer.kind is not CellKind.LUT:
+                continue
+            if not netlist.has_instance(consumer.name):
+                continue  # removed earlier in this sweep as a merge driver
+            if netlist.instance(consumer.name) is not consumer:
+                continue
+            merged = _try_collapse_into(netlist, consumer)
+            if merged:
+                changed = True
+
+
+def _try_collapse_into(netlist: Netlist, consumer: Instance) -> bool:
+    for idx, net in enumerate(consumer.inputs):
+        driver = net.driver
+        if driver is None or driver.kind is not CellKind.LUT:
+            continue
+        if net.fanout != 1:
+            continue
+        support = [n for j, n in enumerate(consumer.inputs) if j != idx]
+        merged_support = list(dict.fromkeys(support + driver.inputs))
+        if len(merged_support) > LUT_MAX_INPUTS:
+            continue
+        table = _merged_table(consumer, driver, idx, merged_support)
+        inputs = merged_support
+        output = consumer.output
+        name = consumer.name
+        intermediate = driver.output
+        netlist.remove_instance(consumer)
+        netlist.remove_instance(driver)
+        # drop only the now-dead wire between the pair; a blanket prune
+        # here could also delete the saved output net before it is
+        # reattached below
+        if intermediate.driver is None and not intermediate.sinks:
+            netlist.remove_net(intermediate)
+        netlist.add_lut(inputs, table, name=name, output=output)
+        return True
+    return False
+
+
+def _merged_table(
+    consumer: Instance, driver: Instance, pin: int, merged_support: list
+) -> int:
+    """Truth table of consumer∘driver over the merged variable list."""
+    k = len(merged_support)
+    position = {net.name: j for j, net in enumerate(merged_support)}
+    table = 0
+    for minterm in range(1 << k):
+        driver_in = [
+            (minterm >> position[n.name]) & 1 for n in driver.inputs
+        ]
+        dval = eval_lut(driver.params["table"], driver_in, 1)
+        consumer_in = []
+        for j, net in enumerate(consumer.inputs):
+            if j == pin:
+                consumer_in.append(dval)
+            else:
+                consumer_in.append((minterm >> position[net.name]) & 1)
+        if eval_lut(consumer.params["table"], consumer_in, 1):
+            table |= 1 << minterm
+    return table
+
+
+# ----------------------------------------------------------------------
+# pass 4: constants
+# ----------------------------------------------------------------------
+
+def _specialize_constants(netlist: Netlist) -> None:
+    """Fold CONST0/CONST1 drivers into consuming LUT tables.
+
+    Constants that still feed DFFs or primary outputs afterwards become
+    zero-input LUTs so the fabric netlist has a uniform primitive set.
+    """
+    changed = True
+    while changed:
+        changed = False
+        for inst in list(netlist.instances()):
+            if inst.kind not in (CellKind.CONST0, CellKind.CONST1):
+                continue
+            value = 1 if inst.kind is CellKind.CONST1 else 0
+            for sink, idx in list(inst.output.sinks):
+                if sink.kind is CellKind.LUT:
+                    _fold_constant_pin(netlist, sink, idx, value)
+                    changed = True
+            if inst.output.fanout == 0:
+                netlist.remove_instance(inst)
+                changed = True
+    # survivors feed DFFs/outputs directly: lower to 0-input LUTs
+    for inst in list(netlist.instances()):
+        if inst.kind in (CellKind.CONST0, CellKind.CONST1):
+            value = 1 if inst.kind is CellKind.CONST1 else 0
+            output = inst.output
+            name = inst.name
+            netlist.remove_instance(inst)
+            netlist.add_lut([], value, name=name, output=output)
+    netlist.prune_dangling()
+
+
+def _fold_constant_pin(
+    netlist: Netlist, lut: Instance, pin: int, value: int
+) -> None:
+    """Shrink a LUT by fixing input ``pin`` to ``value``."""
+    k = len(lut.inputs)
+    old_table = lut.params["table"]
+    new_inputs = [n for j, n in enumerate(lut.inputs) if j != pin]
+    new_table = 0
+    for minterm in range(1 << (k - 1)):
+        full = 0
+        out_pos = 0
+        for j in range(k):
+            if j == pin:
+                bit = value
+            else:
+                bit = (minterm >> out_pos) & 1
+                out_pos += 1
+            full |= bit << j
+        if (old_table >> full) & 1:
+            new_table |= 1 << minterm
+    output = lut.output
+    name = lut.name
+    netlist.remove_instance(lut)
+    netlist.add_lut(new_inputs, new_table, name=name, output=output)
+
+
+# ----------------------------------------------------------------------
+# verification helper
+# ----------------------------------------------------------------------
+
+def _check_only_primitives(netlist: Netlist) -> None:
+    allowed = {CellKind.INPUT, CellKind.OUTPUT, CellKind.LUT, CellKind.DFF}
+    for inst in netlist.instances():
+        if inst.kind not in allowed:
+            raise SynthesisError(
+                f"mapping left non-primitive {inst.kind} instance {inst.name}"
+            )

@@ -1,0 +1,107 @@
+"""Change descriptors: linking debugging changes to physical tiles.
+
+A :class:`ChangeSet` records what a debugging step did to the *mapped*
+netlist — functions altered, wiring moved, logic added or removed.  The
+tiling manager turns it into the set of affected tiles via the packing's
+instance→block map and the tile membership table; that is the mechanized
+form of the paper's §5.1 back-annotation trace ("trace the debugging
+changes made at any level ... down to the affected tiles").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ChangeSet:
+    """The netlist delta of one debugging step.
+
+    * ``changed_instances`` — existing cells whose truth table, kind or
+      input wiring changed (including cells whose fanin net moved);
+    * ``new_instances`` — freshly created cells (mapped primitives and
+      IO markers), not yet known to the packing;
+    * ``removed_instances`` — names of cells deleted from the netlist;
+    * ``description`` — human-readable provenance, kept for reports.
+    """
+
+    description: str = ""
+    changed_instances: set[str] = field(default_factory=set)
+    new_instances: set[str] = field(default_factory=set)
+    removed_instances: set[str] = field(default_factory=set)
+
+    def merge(self, other: "ChangeSet") -> "ChangeSet":
+        """Union of two deltas (e.g. a fix plus fresh test logic)."""
+        merged = ChangeSet(
+            description=f"{self.description}; {other.description}".strip("; "),
+            changed_instances=set(self.changed_instances),
+            new_instances=set(self.new_instances),
+            removed_instances=set(self.removed_instances),
+        )
+        merged.changed_instances |= other.changed_instances
+        merged.new_instances |= other.new_instances
+        merged.removed_instances |= other.removed_instances
+        # an instance both added and removed in one step cancels out
+        ghosts = merged.new_instances & merged.removed_instances
+        merged.new_instances -= ghosts
+        merged.removed_instances -= ghosts
+        merged.changed_instances -= merged.removed_instances
+        return merged
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.changed_instances or self.new_instances or self.removed_instances
+        )
+
+    def touched_existing(self) -> set[str]:
+        """Existing instances whose tiles are affected."""
+        return self.changed_instances | self.removed_instances
+
+
+class ChangeRecorder:
+    """Context helper that diffs a netlist across a mutation block.
+
+    Example::
+
+        with ChangeRecorder(mapped, "invert AND gate") as rec:
+            mapped.change_kind(inst, CellKind.LUT, {"table": new_table})
+        changeset = rec.changes
+    """
+
+    def __init__(self, netlist, description: str = "") -> None:
+        self.netlist = netlist
+        self.description = description
+        self.changes: ChangeSet | None = None
+        self._before: dict[str, tuple] | None = None
+
+    def __enter__(self) -> "ChangeRecorder":
+        self._before = self._snapshot()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            return
+        after = self._snapshot()
+        before = self._before or {}
+        changed = {
+            name
+            for name in before.keys() & after.keys()
+            if before[name] != after[name]
+        }
+        self.changes = ChangeSet(
+            description=self.description,
+            changed_instances=changed,
+            new_instances=set(after) - set(before),
+            removed_instances=set(before) - set(after),
+        )
+
+    def _snapshot(self) -> dict[str, tuple]:
+        snap = {}
+        for inst in self.netlist.instances():
+            snap[inst.name] = (
+                inst.kind,
+                tuple(n.name for n in inst.inputs),
+                tuple(sorted(inst.params.items())),
+            )
+        return snap

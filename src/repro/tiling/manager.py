@@ -1,0 +1,378 @@
+""":class:`TiledLayout` — the tiled physical design and its operations.
+
+This is the paper's global flow (§3.1) made executable:
+
+* :meth:`TiledLayout.create` — steps 4-8: re-place with resource slack,
+  draw tile boundaries, lock tile interfaces;
+* :meth:`TiledLayout.apply_changeset` — steps 17-20: identify and clear
+  affected tiles (with neighbor expansion when the new logic needs more
+  than the tile's slack), re-place-and-route only those tiles with the
+  interfaces of every other tile locked, then re-lock;
+* :meth:`TiledLayout.affected_tiles_for_logic` /
+  :meth:`TiledLayout.max_logic_for_test_points` — the analytical models
+  behind Figures 3 and 4.
+
+The lock invariant — configuration frames of unaffected tiles are
+byte-identical across a change — is checked by
+:mod:`repro.emu.bitstream` and asserted in the property-based tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.arch.device import Device
+from repro.errors import TilingError
+from repro.geometry import Rect
+from repro.pnr.effort import EffortMeter, EffortPreset, EFFORT_PRESETS
+from repro.pnr.flow import Layout, full_place_and_route, replace_region
+from repro.pnr.placement import PlaceConstraints
+from repro.synth.pack import (
+    PackedDesign,
+    extend_packing,
+    refresh_block_nets,
+)
+from repro.tiling.eco import ChangeSet
+from repro.tiling.partition import (
+    TilingOptions,
+    assign_blocks_to_tiles,
+    count_inter_tile_nets,
+    plan_tile_grid,
+    refine_boundaries,
+)
+from repro.tiling.tile import Tile, TileStats
+
+
+@dataclass
+class CommitReport:
+    """Result of one tile-confined debugging change."""
+
+    description: str
+    affected_tiles: list[int]
+    new_blocks: set[int]
+    effort: EffortMeter
+    expanded: bool  # neighbor tiles were pulled in for extra slack
+
+    @property
+    def n_affected(self) -> int:
+        return len(self.affected_tiles)
+
+
+class TiledLayout:
+    """A placed-and-routed design partitioned into locked tiles."""
+
+    def __init__(
+        self,
+        layout: Layout,
+        tiles: list[Tile],
+        options: TilingOptions,
+    ) -> None:
+        self.layout = layout
+        self.tiles = tiles
+        self.options = options
+        self.tile_of_block: dict[int, int] = {}
+        for tile in tiles:
+            for b in tile.blocks:
+                self.tile_of_block[b] = tile.index
+        self._neighbor_cache: dict[int, list[int]] | None = None
+
+    # ------------------------------------------------------------------
+    # construction (paper steps 4-8)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        packed: PackedDesign,
+        device: Device,
+        options: TilingOptions,
+        seed: int = 1,
+        preset: EffortPreset | None = None,
+        meter: EffortMeter | None = None,
+        initial_layout: Layout | None = None,
+    ) -> "TiledLayout":
+        """Tile a design: plan boundaries, re-place with slack, lock.
+
+        ``initial_layout`` (the pre-error untiled implementation) seeds
+        the block-to-tile assignment with its locality; without one, a
+        fast untiled placement is run first, mirroring the paper's flow
+        where tiling happens after the original place-and-route.
+        """
+        preset = preset or EFFORT_PRESETS["normal"]
+        meter = meter if meter is not None else EffortMeter()
+
+        if initial_layout is None:
+            initial_layout = full_place_and_route(
+                packed, device, seed=seed, preset=preset, meter=meter,
+                strict_routing=False,
+            )
+
+        rects = plan_tile_grid(packed.n_clbs, device, options)
+        tiles = assign_blocks_to_tiles(
+            packed, initial_layout.placement, rects
+        )
+        if options.refine_passes:
+            refine_boundaries(packed, tiles, passes=options.refine_passes)
+
+        # step 5: re-place-and-route with resource slack (tile regions)
+        regions = {}
+        for tile in tiles:
+            for b in tile.blocks:
+                regions[b] = tile.rect
+        constraints = PlaceConstraints(regions=regions)
+        layout = full_place_and_route(
+            packed, device, seed=seed, preset=preset, meter=meter,
+            constraints=constraints, strict_routing=False,
+        )
+        return cls(layout, tiles, options)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def packed(self) -> PackedDesign:
+        return self.layout.packed
+
+    @property
+    def device(self) -> Device:
+        return self.layout.device
+
+    def tile_of_instance(self, instance_name: str) -> int:
+        block = self.packed.block_of_instance.get(instance_name)
+        if block is None or block not in self.tile_of_block:
+            raise TilingError(
+                f"instance {instance_name!r} is not in any tile"
+            )
+        return self.tile_of_block[block]
+
+    def neighbors_of(self, tile_index: int) -> list[int]:
+        if self._neighbor_cache is None:
+            self._neighbor_cache = {
+                t.index: t.neighbors(self.tiles) for t in self.tiles
+            }
+        return self._neighbor_cache[tile_index]
+
+    def stats(self) -> TileStats:
+        return TileStats.measure(
+            self.tiles,
+            count_inter_tile_nets(self.packed, self.tile_of_block),
+        )
+
+    def total_slack(self) -> int:
+        return sum(t.slack for t in self.tiles)
+
+    # ------------------------------------------------------------------
+    # Figure 3 model: affected tiles for a logic insertion
+    # ------------------------------------------------------------------
+
+    def affected_tiles_for_logic(
+        self, n_new_clbs: int, start_tile: int
+    ) -> list[int]:
+        """Tiles cleared when ``n_new_clbs`` CLBs land in ``start_tile``.
+
+        Breadth-first neighbor expansion until the pooled slack covers
+        the new logic (paper §4.2: "if the affected tile does not have
+        enough free resources, neighboring tiles can also be labeled
+        affected").  Raises :class:`TilingError` if the whole array
+        cannot absorb the logic.
+        """
+        if n_new_clbs < 0:
+            raise TilingError("logic size cannot be negative")
+        chosen: list[int] = []
+        seen: set[int] = set()
+        queue: deque[int] = deque([start_tile])
+        slack = 0
+        while queue:
+            idx = queue.popleft()
+            if idx in seen:
+                continue
+            seen.add(idx)
+            chosen.append(idx)
+            slack += self.tiles[idx].slack
+            if slack >= n_new_clbs:
+                return chosen
+            for nb in sorted(self.neighbors_of(idx)):
+                if nb not in seen:
+                    queue.append(nb)
+        if slack >= n_new_clbs:
+            return chosen
+        raise TilingError(
+            f"{n_new_clbs} CLBs exceed the design's total slack {slack}"
+        )
+
+    # ------------------------------------------------------------------
+    # Figure 4 model: test-point budget
+    # ------------------------------------------------------------------
+
+    def max_logic_for_test_points(self, n_points: int) -> int:
+        """Largest per-point test logic supportable for ``n_points``.
+
+        Test points are spread round-robin over tiles (the paper's
+        clustered/random discussion brackets this); points sharing a
+        tile split its slack.  The answer is the worst per-point budget,
+        i.e. what every point is guaranteed to fit.
+        """
+        if n_points < 1:
+            raise TilingError("need at least one test point")
+        order = sorted(self.tiles, key=lambda t: -t.slack)
+        n_tiles = len(order)
+        budgets: list[int] = []
+        per_tile_points = [0] * n_tiles
+        for p in range(n_points):
+            per_tile_points[p % n_tiles] += 1
+        for tile, points in zip(order, per_tile_points):
+            if points:
+                budgets.append(tile.slack // points)
+        return min(budgets) if budgets else 0
+
+    # ------------------------------------------------------------------
+    # the debugging-change commit (paper steps 17-20)
+    # ------------------------------------------------------------------
+
+    def apply_changeset(
+        self,
+        changes: ChangeSet,
+        seed: int = 1,
+        preset: EffortPreset | None = None,
+        anchor_instance: str | None = None,
+    ) -> CommitReport:
+        """Clear and re-place-and-route only the affected tiles.
+
+        1. back-annotate: changed/removed instances → blocks → tiles;
+        2. pack any new instances into new blocks;
+        3. expand to neighbor tiles while slack is insufficient;
+        4. unlock, clear and re-place the affected tiles' blocks (new
+           blocks included) inside the tile rectangles, with every other
+           tile's placement and routing locked;
+        5. reroute confined nets inside the tiles and reconnect
+           interface nets at their locked boundary crossings;
+        6. re-establish tile membership and re-lock.
+        """
+        preset = preset or EFFORT_PRESETS["normal"]
+        meter = EffortMeter()
+        packed = self.packed
+
+        changed_blocks = packed.blocks_of_instances(changes.touched_existing())
+        new_blocks = extend_packing(packed, changes.new_instances)
+        new_clbs = {
+            b for b in new_blocks if packed.blocks[b].is_clb
+        }
+        new_ids, changed_ids, removed_ids = refresh_block_nets(packed)
+
+        # retired nets lose their routes
+        for idx in removed_ids:
+            old = self.layout.routes.pop(idx, None)
+            if old is not None:
+                self.layout.state.remove(old)
+
+        # seed tiles from the change location
+        seed_tiles = {
+            self.tile_of_block[b]
+            for b in changed_blocks
+            if b in self.tile_of_block
+        }
+        if not seed_tiles:
+            if anchor_instance is not None:
+                seed_tiles = {self.tile_of_instance(anchor_instance)}
+            elif self.tiles:
+                seed_tiles = {
+                    max(self.tiles, key=lambda t: t.slack).index
+                }
+        if not seed_tiles:
+            raise TilingError("cannot anchor the change to any tile")
+
+        affected = self._expand_for_slack(seed_tiles, len(new_clbs))
+        expanded = len(affected) > len(seed_tiles)
+
+        movable = set(new_clbs)
+        for t in affected:
+            movable |= {
+                b for b in self.tiles[t].blocks if packed.blocks[b].is_clb
+            }
+        regions = [self.tiles[t].rect for t in affected]
+
+        extra = sorted(
+            (new_ids | changed_ids)
+            - {n for n in removed_ids}
+        )
+        replace_region(
+            self.layout,
+            movable,
+            regions,
+            seed=seed,
+            preset=preset,
+            meter=meter,
+            confine_routing=True,
+            extra_nets=extra,
+        )
+
+        self._rebuild_membership(affected, movable)
+        return CommitReport(
+            description=changes.description,
+            affected_tiles=sorted(affected),
+            new_blocks=new_blocks,
+            effort=meter,
+            expanded=expanded,
+        )
+
+    def _expand_for_slack(
+        self, seed_tiles: set[int], n_new_clbs: int
+    ) -> list[int]:
+        """Neighbor expansion until the affected set can host the logic."""
+        chosen: list[int] = []
+        seen: set[int] = set()
+        queue: deque[int] = deque(sorted(seed_tiles))
+        slack = 0
+        while queue:
+            idx = queue.popleft()
+            if idx in seen:
+                continue
+            seen.add(idx)
+            chosen.append(idx)
+            slack += self.tiles[idx].slack
+        if slack >= n_new_clbs:
+            return chosen
+        frontier: deque[int] = deque(chosen)
+        while frontier and slack < n_new_clbs:
+            idx = frontier.popleft()
+            for nb in sorted(self.neighbors_of(idx)):
+                if nb in seen:
+                    continue
+                seen.add(nb)
+                chosen.append(nb)
+                frontier.append(nb)
+                slack += self.tiles[nb].slack
+                if slack >= n_new_clbs:
+                    break
+        if slack < n_new_clbs:
+            raise TilingError(
+                f"new logic ({n_new_clbs} CLBs) exceeds reachable slack"
+            )
+        return chosen
+
+    def _rebuild_membership(
+        self, affected: list[int], movable: set[int]
+    ) -> None:
+        """Re-adopt moved blocks into tiles by their final site."""
+        affected_set = set(affected)
+        for t in affected_set:
+            self.tiles[t].blocks -= movable
+        for b in movable:
+            site = self.layout.placement.site_of(b)
+            for t in affected_set:
+                if self.tiles[t].rect.contains(*site):
+                    self.tiles[t].blocks.add(b)
+                    self.tile_of_block[b] = t
+                    break
+            else:
+                raise TilingError(
+                    f"block {b} landed outside the affected tiles"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TiledLayout({self.packed.netlist.name!r}, "
+            f"{len(self.tiles)} tiles, slack={self.total_slack()})"
+        )

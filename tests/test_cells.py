@@ -1,0 +1,146 @@
+"""Cell library: arity validation and bit-parallel gate evaluation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist.cells import (
+    CellKind,
+    arity_of,
+    eval_gate,
+    eval_lut,
+    is_combinational,
+    is_sequential,
+    lut_table_for_gate,
+)
+
+
+class TestArity:
+    def test_fixed_arities(self):
+        assert arity_of(CellKind.NOT, 1) == 1
+        assert arity_of(CellKind.MUX2, 3) == 3
+        assert arity_of(CellKind.DFF, 1) == 1
+        assert arity_of(CellKind.INPUT, 0) == 0
+
+    def test_fixed_arity_violations(self):
+        with pytest.raises(NetlistError):
+            arity_of(CellKind.NOT, 2)
+        with pytest.raises(NetlistError):
+            arity_of(CellKind.MUX2, 2)
+
+    def test_variadic_ranges(self):
+        assert arity_of(CellKind.AND, 2) == 2
+        assert arity_of(CellKind.AND, 8) == 8
+        with pytest.raises(NetlistError):
+            arity_of(CellKind.AND, 1)
+        with pytest.raises(NetlistError):
+            arity_of(CellKind.XOR, 9)
+
+    def test_lut_range(self):
+        assert arity_of(CellKind.LUT, 0) == 0
+        assert arity_of(CellKind.LUT, 4) == 4
+        with pytest.raises(NetlistError):
+            arity_of(CellKind.LUT, 5)
+
+
+class TestClassification:
+    def test_gates_are_combinational(self):
+        for kind in (CellKind.AND, CellKind.MUX2, CellKind.LUT, CellKind.BUF):
+            assert is_combinational(kind)
+
+    def test_dff_is_sequential(self):
+        assert is_sequential(CellKind.DFF)
+        assert not is_combinational(CellKind.DFF)
+
+
+class TestEvalGate:
+    MASK = 0b1111
+
+    def test_and(self):
+        assert eval_gate(CellKind.AND, [0b1100, 0b1010], self.MASK) == 0b1000
+
+    def test_nand(self):
+        assert eval_gate(CellKind.NAND, [0b1100, 0b1010], self.MASK) == 0b0111
+
+    def test_or_nor(self):
+        assert eval_gate(CellKind.OR, [0b1100, 0b1010], self.MASK) == 0b1110
+        assert eval_gate(CellKind.NOR, [0b1100, 0b1010], self.MASK) == 0b0001
+
+    def test_xor_xnor(self):
+        assert eval_gate(CellKind.XOR, [0b1100, 0b1010], self.MASK) == 0b0110
+        assert eval_gate(CellKind.XNOR, [0b1100, 0b1010], self.MASK) == 0b1001
+
+    def test_not_bounded_by_mask(self):
+        assert eval_gate(CellKind.NOT, [0b0101], self.MASK) == 0b1010
+
+    def test_mux2_selects(self):
+        sel, d0, d1 = 0b1100, 0b1010, 0b0110
+        out = eval_gate(CellKind.MUX2, [sel, d0, d1], self.MASK)
+        assert out == (d0 & ~sel | d1 & sel) & self.MASK
+
+    def test_constants(self):
+        assert eval_gate(CellKind.CONST0, [], self.MASK) == 0
+        assert eval_gate(CellKind.CONST1, [], self.MASK) == self.MASK
+
+    def test_nary_gates(self):
+        assert eval_gate(CellKind.AND, [15, 12, 10], 15) == 8
+        assert eval_gate(CellKind.XOR, [1, 2, 4], 7) == 7
+
+
+class TestLutTables:
+    def test_and2_table(self):
+        assert lut_table_for_gate(CellKind.AND, 2) == 0b1000
+
+    def test_or2_table(self):
+        assert lut_table_for_gate(CellKind.OR, 2) == 0b1110
+
+    def test_xor2_table(self):
+        assert lut_table_for_gate(CellKind.XOR, 2) == 0b0110
+
+    def test_buf_and_not(self):
+        assert lut_table_for_gate(CellKind.BUF, 1) == 0b10
+        assert lut_table_for_gate(CellKind.NOT, 1) == 0b01
+
+    def test_mux2_table_matches_eval(self):
+        table = lut_table_for_gate(CellKind.MUX2, 3)
+        for sel in (0, 1):
+            for d0 in (0, 1):
+                for d1 in (0, 1):
+                    minterm = sel | d0 << 1 | d1 << 2
+                    expected = d1 if sel else d0
+                    assert (table >> minterm) & 1 == expected
+
+    def test_eval_lut_zero_input(self):
+        assert eval_lut(1, [], 0b11) == 0b11
+        assert eval_lut(0, [], 0b11) == 0
+
+
+@given(
+    table=st.integers(min_value=0, max_value=(1 << 16) - 1),
+    inputs=st.lists(st.integers(min_value=0, max_value=255), min_size=4, max_size=4),
+)
+def test_eval_lut_matches_scalar_reference(table, inputs):
+    """Bit-parallel LUT evaluation agrees with per-pattern lookup."""
+    mask = 0xFF
+    word = eval_lut(table, inputs, mask)
+    for p in range(8):
+        minterm = sum(((inputs[j] >> p) & 1) << j for j in range(4))
+        assert (word >> p) & 1 == (table >> minterm) & 1
+
+
+@given(
+    kind=st.sampled_from(
+        [CellKind.AND, CellKind.OR, CellKind.XOR, CellKind.NAND,
+         CellKind.NOR, CellKind.XNOR]
+    ),
+    n=st.integers(min_value=2, max_value=4),
+    data=st.data(),
+)
+def test_gate_eval_agrees_with_its_lut_table(kind, n, data):
+    """eval_gate and the absorbed LUT table are the same function."""
+    mask = 0xFF
+    inputs = [
+        data.draw(st.integers(min_value=0, max_value=mask)) for _ in range(n)
+    ]
+    table = lut_table_for_gate(kind, n)
+    assert eval_gate(kind, inputs, mask) == eval_lut(table, inputs, mask)

@@ -1,0 +1,205 @@
+"""Debug package: injection, test generation, instrumentation, detection,
+localization, correction, and the full session."""
+
+import pytest
+
+from repro.debug import (
+    ERROR_KINDS,
+    EmulationDebugSession,
+    add_control_point,
+    add_observation_point,
+    apply_correction,
+    compare_runs,
+    exhaustive_patterns,
+    inject_error,
+    random_patterns,
+    random_stimulus,
+)
+from repro.debug.instrument import test_logic_block as make_test_logic_block
+from repro.errors import DebugFlowError
+from repro.netlist import check_netlist, simulate_words
+from repro.netlist.simulate import SequentialSimulator
+from repro.synth import map_to_luts, pack_netlist
+from tests.conftest import make_adder_netlist
+
+
+def mapped_adder(width=5, registered=True):
+    return map_to_luts(make_adder_netlist(width, registered=registered))
+
+
+def mapped_random(seed=0):
+    """Random logic with MUX cells — has asymmetric LUTs for input_swap."""
+    from repro.generators.random_logic import random_sequential_netlist
+
+    return map_to_luts(
+        random_sequential_netlist(
+            f"dbg{seed}", n_inputs=6, n_outputs=5, n_ffs=4, n_gates=30,
+            seed=seed,
+        )
+    )
+
+
+class TestInjection:
+    @pytest.mark.parametrize("kind", ERROR_KINDS)
+    def test_injection_changes_behaviour_or_structure(self, kind):
+        golden = mapped_random()
+        dut = golden.copy()
+        record = inject_error(dut, kind, seed=3)
+        check_netlist(dut)
+        assert record.kind == kind
+        assert dut.has_instance(record.instance)
+        # structure or function must differ from golden
+        differs = False
+        for inst in dut.instances():
+            ginst = golden.instance(inst.name)
+            if (
+                inst.params != ginst.params
+                or [n.name for n in inst.inputs]
+                != [n.name for n in ginst.inputs]
+            ):
+                differs = True
+        assert differs
+
+    @pytest.mark.parametrize("kind", ERROR_KINDS)
+    def test_correction_restores_function(self, kind):
+        golden = mapped_random(seed=1)
+        dut = golden.copy()
+        record = inject_error(dut, kind, seed=5)
+        apply_correction(dut, record)
+        check_netlist(dut)
+        ins = random_patterns(golden, 64, seed=9)
+        # compare sequentially (designs have registers)
+        sim_g = SequentialSimulator(golden)
+        sim_d = SequentialSimulator(dut)
+        for _ in range(4):
+            assert sim_d.step(ins, 64) == sim_g.step(ins, 64)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DebugFlowError):
+            inject_error(mapped_adder(), "gamma_ray", seed=0)
+
+
+class TestTestgen:
+    def test_random_patterns_cover_all_inputs(self):
+        n = mapped_adder()
+        pats = random_patterns(n, 16, seed=1)
+        names = {pi.name.split(":", 1)[-1] for pi in n.primary_inputs()}
+        assert set(pats) == names
+
+    def test_exhaustive_patterns(self):
+        n = mapped_adder(2, registered=False)
+        words, count = exhaustive_patterns(n)
+        assert count == 1 << len(words)
+        # every input column is a distinct mask pattern
+        assert len(set(words.values())) == len(words)
+
+    def test_exhaustive_cap(self):
+        n = mapped_adder(12, registered=False)
+        with pytest.raises(DebugFlowError):
+            exhaustive_patterns(n, max_inputs=8)
+
+    def test_stimulus_shape(self):
+        n = mapped_adder()
+        stim = random_stimulus(n, 5, 8, seed=2)
+        assert len(stim) == 5
+        assert all(len(cycle) == len(n.primary_inputs()) for cycle in stim)
+
+
+class TestInstrumentation:
+    def test_observation_point_exports_flag(self):
+        n = mapped_adder()
+        watch = [n.primary_outputs()[0].inputs[0].name]
+        changes, outputs = add_observation_point(n, watch, "w0")
+        check_netlist(n)
+        assert "obs_probe_w0" in outputs
+        assert "obs_flag_w0" in outputs
+        assert changes.new_instances
+
+    def test_sticky_flag_latches(self):
+        n = mapped_adder(3, registered=False)
+        target = n.primary_outputs()[0].inputs[0].name
+        add_observation_point(n, [target], "w", sticky=True)
+        sim = SequentialSimulator(n)
+        base = {f"a[{i}]": 0 for i in range(3)} | {
+            f"b[{i}]": 0 for i in range(3)
+        }
+        pulse = dict(base) | {"a[0]": 1}
+        sim.step(pulse)        # raises parity pulse
+        out = sim.step(base)   # flag must remain set
+        assert out["obs_flag_w"] == 1
+
+    def test_control_point_forces_value(self):
+        n = mapped_adder(3, registered=False)
+        target_net = n.primary_outputs()[0].inputs[0].name
+        changes, inputs = add_control_point(n, target_net, "c")
+        check_netlist(n)
+        base = {f"a[{i}]": 0 for i in range(3)}
+        base |= {f"b[{i}]": 0 for i in range(3)}
+        # un-forced: s[0] = 0; forced: s[0] = 1
+        free = simulate_words(n, base | {"ctl_en_c": 0, "ctl_val_c": 0}, 1)
+        forced = simulate_words(n, base | {"ctl_en_c": 1, "ctl_val_c": 1}, 1)
+        assert free["s[0]"] == 0
+        assert forced["s[0]"] == 1
+
+    def test_test_logic_block_size(self):
+        n = mapped_adder()
+        anchor = n.primary_outputs()[0].inputs[0].name
+        changes = make_test_logic_block(n, n_clbs=5, attach_net=anchor, name="t")
+        check_netlist(n)
+        packed = pack_netlist(n)
+        # the new cells pack to exactly the requested CLB count
+        from repro.synth.pack import BlockKind
+
+        new_clbs = {
+            packed.block_of_instance[i]
+            for i in changes.new_instances
+            if not i.startswith("po:")
+        }
+        assert len(new_clbs) == 5
+
+
+class TestDetection:
+    def test_compare_runs_finds_mismatch(self):
+        a = [{"y": 0b01, "z": 0}]
+        b = [{"y": 0b11, "z": 0}]
+        mm = compare_runs(a, b)
+        assert len(mm) == 1
+        assert mm[0].output == "y"
+        assert mm[0].diff_mask == 0b10
+        assert mm[0].n_patterns_failing == 1
+
+    def test_compare_ignores_one_sided_outputs(self):
+        a = [{"y": 1, "obs_flag_x": 1}]
+        b = [{"y": 1}]
+        assert compare_runs(a, b) == []
+
+
+class TestSession:
+    @pytest.mark.parametrize("strategy", ["tiled", "quick_eco", "incremental"])
+    def test_full_loop_fixes_error(self, strategy):
+        from repro.pnr.effort import EFFORT_PRESETS
+
+        packed = pack_netlist(mapped_adder(6))
+        session = EmulationDebugSession(
+            packed, strategy=strategy, seed=11,
+            preset=EFFORT_PRESETS["fast"], n_cycles=5, n_patterns=64,
+        )
+        from repro.tiling.partition import TilingOptions
+
+        report = session.run(error_kind="output_invert", error_seed=2)
+        assert report.detected
+        assert report.fixed
+        assert report.total_effort.work_units > 0
+
+    def test_tiled_session_localizes(self):
+        from repro.pnr.effort import EFFORT_PRESETS
+
+        packed = pack_netlist(mapped_adder(6))
+        session = EmulationDebugSession(
+            packed, strategy="tiled", seed=13,
+            preset=EFFORT_PRESETS["fast"], n_cycles=5, n_patterns=64,
+        )
+        report = session.run(error_kind="wrong_function", error_seed=7)
+        assert report.detected and report.fixed
+        assert report.localization is not None
+        assert report.localization.candidates

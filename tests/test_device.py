@@ -1,0 +1,66 @@
+"""Architecture model: family table, geometry, device selection."""
+
+import pytest
+
+from repro.arch import XC4000_FAMILY, custom_device, pick_device
+from repro.errors import ArchitectureError
+
+
+def test_family_is_sorted_by_capacity():
+    sizes = [spec.n_clbs for spec in XC4000_FAMILY]
+    assert sizes == sorted(sizes)
+
+
+def test_pick_device_smallest_fit():
+    dev = pick_device(90)
+    assert dev.name == "XC4003"
+    dev = pick_device(90, area_overhead=0.2)
+    assert dev.name == "XC4005"
+
+
+def test_pick_device_io_constraint():
+    dev = pick_device(50, min_io=100)
+    assert dev.spec.io_capacity >= 100
+
+
+def test_pick_device_too_big():
+    with pytest.raises(ArchitectureError):
+        pick_device(10_000)
+
+
+def test_custom_device_validation():
+    with pytest.raises(ArchitectureError):
+        custom_device(0, 5)
+
+
+class TestGeometry:
+    def setup_method(self):
+        self.dev = custom_device(4, 3)
+
+    def test_clb_sites(self):
+        assert self.dev.is_clb_site(0, 0)
+        assert self.dev.is_clb_site(3, 2)
+        assert not self.dev.is_clb_site(4, 0)
+        assert not self.dev.is_clb_site(0, -1)
+
+    def test_io_ring(self):
+        assert self.dev.is_io_slot(-1, 0)
+        assert self.dev.is_io_slot(4, 2)
+        assert self.dev.is_io_slot(0, -1)
+        assert self.dev.is_io_slot(2, 3)
+        # corners are not IOB slots
+        assert not self.dev.is_io_slot(-1, -1)
+        assert not self.dev.is_io_slot(4, 3)
+
+    def test_io_slot_count(self):
+        slots = self.dev.io_slots()
+        assert len(slots) == 2 * (4 + 3)
+        assert len(set(slots)) == len(slots)
+
+    def test_neighbors_inside_grid(self):
+        assert set(self.dev.neighbors(0, 0)) == {(1, 0), (0, 1), (-1, 0), (0, -1)}
+
+    def test_routable_excludes_outside(self):
+        assert self.dev.is_routable(-1, 1)
+        assert not self.dev.is_routable(-2, 1)
+        assert not self.dev.is_routable(-1, -1)

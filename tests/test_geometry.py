@@ -1,0 +1,83 @@
+"""Unit tests for the planar-geometry helpers."""
+
+import pytest
+
+from repro.geometry import Rect, half_perimeter, manhattan
+
+
+class TestRect:
+    def test_dimensions(self):
+        r = Rect(1, 2, 4, 6)
+        assert r.width == 4
+        assert r.height == 5
+        assert r.area == 20
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(3, 0, 2, 0)
+        with pytest.raises(ValueError):
+            Rect(0, 5, 0, 4)
+
+    def test_single_site_rect(self):
+        r = Rect(3, 3, 3, 3)
+        assert r.area == 1
+        assert list(r.sites()) == [(3, 3)]
+
+    def test_contains_is_inclusive(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains(0, 0)
+        assert r.contains(2, 2)
+        assert not r.contains(3, 2)
+        assert not r.contains(-1, 0)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 5, 5)
+        assert outer.contains_rect(Rect(1, 1, 4, 4))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(1, 1, 6, 4))
+
+    def test_overlaps(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.overlaps(Rect(2, 2, 4, 4))  # shares corner site
+        assert not a.overlaps(Rect(3, 3, 4, 4))
+
+    def test_touches_includes_diagonal_adjacency(self):
+        a = Rect(0, 0, 1, 1)
+        assert a.touches(Rect(2, 2, 3, 3))  # diagonal neighbor
+        assert a.touches(Rect(2, 0, 3, 1))  # edge neighbor
+        assert not a.touches(Rect(3, 0, 4, 1))  # one apart
+
+    def test_union(self):
+        assert Rect(0, 0, 1, 1).union(Rect(3, 4, 5, 6)) == Rect(0, 0, 5, 6)
+
+    def test_intersection(self):
+        assert Rect(0, 0, 4, 4).intersection(Rect(2, 2, 6, 6)) == Rect(2, 2, 4, 4)
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, 1).intersection(Rect(5, 5, 6, 6))
+
+    def test_expanded_with_clip(self):
+        clip = Rect(0, 0, 9, 9)
+        assert Rect(4, 4, 5, 5).expanded(2, clip) == Rect(2, 2, 7, 7)
+        assert Rect(0, 0, 1, 1).expanded(3, clip) == Rect(0, 0, 4, 4)
+
+    def test_sites_enumeration(self):
+        sites = list(Rect(0, 0, 1, 2).sites())
+        assert len(sites) == 6
+        assert sites[0] == (0, 0)
+        assert sites[-1] == (1, 2)
+
+    def test_center(self):
+        assert Rect(0, 0, 2, 2).center() == (1.0, 1.0)
+        assert Rect(0, 0, 1, 1).center() == (0.5, 0.5)
+
+
+def test_manhattan():
+    assert manhattan((0, 0), (3, 4)) == 7
+    assert manhattan((2, 2), (2, 2)) == 0
+
+
+def test_half_perimeter():
+    assert half_perimeter([]) == 0
+    assert half_perimeter([(1, 1)]) == 0
+    assert half_perimeter([(0, 0), (3, 4)]) == 7
+    assert half_perimeter([(0, 0), (1, 1), (3, 4), (2, 0)]) == 7

@@ -1,0 +1,88 @@
+"""Design-hierarchy tree and back-annotation queries."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import HierNode, build_flat_hierarchy
+from tests.conftest import make_adder_netlist
+
+
+def sample_tree():
+    root = HierNode("chip")
+    alu = root.add_child("alu")
+    alu.assign(["add0", "add1"])
+    ctl = root.add_child("control")
+    ctl.assign(["dec0"])
+    sub = alu.add_child("carry")
+    sub.assign(["cy0"])
+    return root
+
+
+def test_paths():
+    root = sample_tree()
+    assert root.path() == "<root>"
+    assert root.find("alu/carry").path() == "alu/carry"
+
+
+def test_ensure_path_creates_once():
+    root = HierNode("chip")
+    node = root.ensure_path("a/b/c")
+    assert root.ensure_path("a/b/c") is node
+
+
+def test_duplicate_child_rejected():
+    root = sample_tree()
+    with pytest.raises(NetlistError):
+        root.add_child("alu")
+
+
+def test_all_instances_subtree():
+    root = sample_tree()
+    assert root.find("alu").all_instances() == {"add0", "add1", "cy0"}
+    assert root.all_instances() == {"add0", "add1", "cy0", "dec0"}
+
+
+def test_functional_block_of():
+    root = sample_tree()
+    assert root.functional_block_of("cy0").name == "alu"
+    assert root.functional_block_of("dec0").name == "control"
+    with pytest.raises(NetlistError):
+        root.functional_block_of("nope")
+
+
+def test_node_of_finds_deepest_owner():
+    root = sample_tree()
+    assert root.node_of("cy0").path() == "alu/carry"
+
+
+def test_check_covers_reports_gaps():
+    netlist = make_adder_netlist(2)
+    root = HierNode(netlist.name)
+    root.add_child("half").assign(
+        [netlist.logic_instances()[0].name]
+    )
+    problems = root.check_covers(netlist)
+    assert problems  # most instances unassigned
+
+
+def test_adopt_new_instances():
+    netlist = make_adder_netlist(2)
+    root = build_flat_hierarchy(netlist)
+    assert not root.check_covers(netlist)
+    # new logic appears (e.g. instrumentation)
+    new_net = netlist.add_gate(
+        __import__("repro.netlist.cells", fromlist=["CellKind"]).CellKind.NOT,
+        [netlist.net("a[0]")],
+    )
+    adopted = root.adopt_new_instances(netlist, node_path="block0")
+    assert adopted == 1
+    assert not root.check_covers(netlist)
+
+
+def test_flat_hierarchy_block_count():
+    netlist = make_adder_netlist(4)
+    root = build_flat_hierarchy(netlist, n_blocks=3)
+    assert len(root.functional_blocks()) == 3
+    assert root.all_instances() == {
+        i.name for i in netlist.logic_instances()
+    }

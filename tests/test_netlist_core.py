@@ -1,0 +1,176 @@
+"""Netlist data model: construction, mutation, analysis."""
+
+import pytest
+
+from repro.errors import NetlistError, ValidationError
+from repro.netlist import CellKind, Netlist, check_netlist
+
+
+def tiny():
+    """y = (a AND b) XOR c, plus a register on the XOR."""
+    n = Netlist("tiny")
+    a, b, c = n.add_input("a"), n.add_input("b"), n.add_input("c")
+    g1 = n.add_instance(CellKind.AND, [a, b], name="g1")
+    g2 = n.add_instance(CellKind.XOR, [g1.output, c], name="g2")
+    ff = n.add_dff(g2.output, name="ff")
+    n.add_output("y", g2.output)
+    n.add_output("q", ff.output)
+    return n
+
+
+class TestConstruction:
+    def test_connectivity_tables(self):
+        n = tiny()
+        g1 = n.instance("g1")
+        assert g1.output.driver is g1
+        assert (n.instance("g2"), 0) in g1.output.sinks
+
+    def test_duplicate_names_rejected(self):
+        n = tiny()
+        with pytest.raises(NetlistError):
+            n.add_net("a")
+        with pytest.raises(NetlistError):
+            n.add_instance(CellKind.AND, [n.net("a"), n.net("b")], name="g1")
+
+    def test_double_driver_rejected(self):
+        n = tiny()
+        with pytest.raises(NetlistError):
+            n.add_instance(
+                CellKind.AND, [n.net("a"), n.net("b")], output=n.net("a")
+            )
+
+    def test_foreign_net_rejected(self):
+        n, other = tiny(), Netlist("other")
+        foreign = other.add_net("x")
+        with pytest.raises(NetlistError):
+            n.add_instance(CellKind.NOT, [foreign])
+
+    def test_fresh_names_unique(self):
+        n = tiny()
+        names = {n.fresh_name("t") for _ in range(50)}
+        assert len(names) == 50
+
+    def test_lut_table_width_checked(self):
+        n = tiny()
+        with pytest.raises(NetlistError):
+            n.add_lut([n.net("a")], table=0b100)  # 1 input, 2-entry table
+
+    def test_stats(self):
+        st = tiny().stats()
+        assert st.n_inputs == 3
+        assert st.n_outputs == 2
+        assert st.n_gates == 2
+        assert st.n_ffs == 1
+        assert st.depth == 2
+
+
+class TestMutation:
+    def test_set_input_rewires_both_tables(self):
+        n = tiny()
+        g2 = n.instance("g2")
+        a = n.net("a")
+        old = g2.inputs[1]
+        n.set_input(g2, 1, a)
+        assert g2.inputs[1] is a
+        assert (g2, 1) in a.sinks
+        assert (g2, 1) not in old.sinks
+        check_netlist(n)
+
+    def test_change_kind_checks_arity(self):
+        n = tiny()
+        g1 = n.instance("g1")
+        n.change_kind(g1, CellKind.NAND)
+        assert g1.kind is CellKind.NAND
+        with pytest.raises(NetlistError):
+            n.change_kind(g1, CellKind.NOT)  # arity 1 != 2
+
+    def test_transfer_sinks(self):
+        n = tiny()
+        a, c = n.net("a"), n.net("c")
+        moved = n.transfer_sinks(c, a)
+        assert moved == 1
+        assert c.fanout == 0
+        check_netlist(n)
+
+    def test_transfer_sinks_with_keep(self):
+        n = tiny()
+        g2 = n.instance("g2")
+        c, a = n.net("c"), n.net("a")
+        n.transfer_sinks(c, a, keep=lambda inst, idx: inst is g2)
+        assert (g2, 1) in c.sinks
+
+    def test_remove_instance_detaches(self):
+        n = tiny()
+        ff = n.instance("ff")
+        out_net = ff.output
+        n.remove_instance(ff)
+        assert out_net.driver is None
+        assert not n.has_instance("ff")
+        problems = check_netlist(n, strict=False)
+        assert any("undriven" in p for p in problems)
+
+    def test_prune_dangling(self):
+        n = tiny()
+        n.add_net("orphan")
+        assert n.prune_dangling() == 1
+        assert not n.has_net("orphan")
+
+    def test_rename_instance(self):
+        n = tiny()
+        g1 = n.instance("g1")
+        n.rename_instance(g1, "gate_one")
+        assert n.instance("gate_one") is g1
+        with pytest.raises(NetlistError):
+            n.rename_instance(g1, "g2")
+
+
+class TestAnalysis:
+    def test_topo_order_respects_dependencies(self):
+        n = tiny()
+        order = [i.name for i in n.topo_order()]
+        assert order.index("g1") < order.index("g2")
+
+    def test_topo_order_handles_ff_feedback(self):
+        n = Netlist("loop")
+        q = n.add_net("q")
+        inv = n.add_instance(CellKind.NOT, [q], name="inv")
+        n.add_dff(inv.output, name="ff", output=q)
+        order = [i.name for i in n.topo_order()]
+        assert set(order) == {"inv", "ff"}
+
+    def test_combinational_loop_detected(self):
+        n = Netlist("bad")
+        x = n.add_net("x")
+        g = n.add_instance(CellKind.NOT, [x], name="g")
+        # manually close a combinational loop: g drives x via a buffer
+        n.add_instance(CellKind.BUF, [g.output], name="b", output=x)
+        with pytest.raises(ValidationError):
+            n.topo_order()
+
+    def test_levels_and_depth(self):
+        n = tiny()
+        levels = n.levels()
+        assert levels["g1"] == 1
+        assert levels["g2"] == 2
+        assert n.depth() == 2
+
+    def test_fanin_cone(self):
+        n = tiny()
+        cone = n.fanin_cone([n.instance("g2")])
+        assert {"g1", "g2"} <= cone
+        assert "ff" not in cone
+
+    def test_fanout_cone(self):
+        n = tiny()
+        cone = n.fanout_cone([n.instance("g1")])
+        assert {"g1", "g2", "ff"} <= cone
+
+    def test_copy_is_deep_and_equal(self):
+        n = tiny()
+        clone = n.copy()
+        assert sorted(i.name for i in clone.instances()) == sorted(
+            i.name for i in n.instances()
+        )
+        clone.change_kind(clone.instance("g1"), CellKind.OR)
+        assert n.instance("g1").kind is CellKind.AND
+        check_netlist(clone)

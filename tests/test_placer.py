@@ -1,0 +1,127 @@
+"""Simulated-annealing placer: legality, constraints, determinism."""
+
+import pytest
+
+from repro.arch import custom_device, pick_device
+from repro.errors import PlacementError
+from repro.geometry import Rect
+from repro.pnr import EFFORT_PRESETS, EffortMeter, PlaceConstraints, Placement
+from repro.pnr.placer import place_design, q_factor
+from tests.conftest import fresh_packed_design
+
+
+def test_q_factor_monotone():
+    values = [q_factor(t) for t in range(2, 60)]
+    assert all(b >= a for a, b in zip(values, values[1:]))
+
+
+def test_placement_is_legal():
+    packed = fresh_packed_design()
+    device = pick_device(packed.n_clbs, area_overhead=0.5,
+                         min_io=len(packed.io_blocks()))
+    placement = place_design(packed, device, seed=1,
+                             preset=EFFORT_PRESETS["fast"])
+    placement.check_complete()
+    # no two CLBs share a site
+    assert len(placement.clb_at) == packed.n_clbs
+
+
+def test_determinism_same_seed():
+    packed = fresh_packed_design()
+    device = pick_device(packed.n_clbs, area_overhead=0.5,
+                         min_io=len(packed.io_blocks()))
+    p1 = place_design(packed, device, seed=42, preset=EFFORT_PRESETS["fast"])
+    p2 = place_design(packed, device, seed=42, preset=EFFORT_PRESETS["fast"])
+    assert p1.pos == p2.pos
+
+
+def test_different_seeds_differ():
+    packed = fresh_packed_design()
+    device = pick_device(packed.n_clbs, area_overhead=0.5,
+                         min_io=len(packed.io_blocks()))
+    p1 = place_design(packed, device, seed=1, preset=EFFORT_PRESETS["fast"])
+    p2 = place_design(packed, device, seed=2, preset=EFFORT_PRESETS["fast"])
+    assert p1.pos != p2.pos
+
+
+def test_region_constraints_respected():
+    packed = fresh_packed_design()
+    device = pick_device(packed.n_clbs, area_overhead=1.5,
+                         min_io=len(packed.io_blocks()))
+    region = Rect(0, 0, device.nx - 1, 2)
+    constraints = PlaceConstraints(
+        regions={b.index: region for b in packed.clb_blocks()}
+    )
+    placement = place_design(
+        packed, device, seed=3, preset=EFFORT_PRESETS["fast"],
+        constraints=constraints,
+    )
+    for block in packed.clb_blocks():
+        assert region.contains(*placement.site_of(block.index))
+
+
+def test_free_sites_constraint():
+    packed = fresh_packed_design()
+    device = pick_device(packed.n_clbs, area_overhead=1.5,
+                         min_io=len(packed.io_blocks()))
+    allowed = {(x, y) for x in range(device.nx) for y in range(device.ny)
+               if (x + y) % 2 == 0}
+    constraints = PlaceConstraints(free_sites=allowed)
+    if len(allowed) < packed.n_clbs:
+        pytest.skip("checkerboard too small")
+    placement = place_design(
+        packed, device, seed=3, preset=EFFORT_PRESETS["fast"],
+        constraints=constraints,
+    )
+    for block in packed.clb_blocks():
+        assert placement.site_of(block.index) in allowed
+
+
+def test_locked_blocks_do_not_move():
+    packed = fresh_packed_design()
+    device = pick_device(packed.n_clbs, area_overhead=0.5,
+                         min_io=len(packed.io_blocks()))
+    base = place_design(packed, device, seed=5, preset=EFFORT_PRESETS["fast"])
+    locked = {b.index for b in packed.clb_blocks()[:3]}
+    frozen_sites = {b: base.site_of(b) for b in locked}
+    result = place_design(
+        packed, device, seed=9, preset=EFFORT_PRESETS["fast"],
+        initial=base, constraints=PlaceConstraints(locked=locked),
+    )
+    for b, site in frozen_sites.items():
+        assert result.site_of(b) == site
+
+
+def test_effort_is_metered():
+    packed = fresh_packed_design()
+    device = pick_device(packed.n_clbs, area_overhead=0.5,
+                         min_io=len(packed.io_blocks()))
+    meter = EffortMeter()
+    place_design(packed, device, seed=1, preset=EFFORT_PRESETS["fast"],
+                 meter=meter)
+    assert meter.place_moves > 0
+
+
+def test_overfull_region_raises():
+    packed = fresh_packed_design()
+    device = pick_device(packed.n_clbs, area_overhead=0.5,
+                         min_io=len(packed.io_blocks()))
+    tiny = Rect(0, 0, 0, 0)
+    constraints = PlaceConstraints(
+        regions={b.index: tiny for b in packed.clb_blocks()}
+    )
+    with pytest.raises(PlacementError):
+        place_design(packed, device, seed=1, constraints=constraints)
+
+
+def test_placement_site_bookkeeping():
+    packed = fresh_packed_design()
+    device = custom_device(20, 20)
+    placement = Placement(device, packed)
+    clb = packed.clb_blocks()[0]
+    placement.place_clb(clb.index, (3, 4))
+    assert placement.site_of(clb.index) == (3, 4)
+    placement.move_clb(clb.index, (5, 5))
+    assert (3, 4) not in placement.clb_at
+    placement.remove(clb.index)
+    assert not placement.is_placed(clb.index)

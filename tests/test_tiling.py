@@ -1,0 +1,143 @@
+"""Tiling: geometry planning, assignment, refinement, Tile accounting."""
+
+import pytest
+
+from repro.arch import custom_device, pick_device
+from repro.errors import TilingError
+from repro.geometry import Rect
+from repro.pnr import EFFORT_PRESETS, full_place_and_route
+from repro.tiling import (
+    Tile,
+    TilingOptions,
+    assign_blocks_to_tiles,
+    plan_tile_grid,
+    refine_boundaries,
+)
+from repro.tiling.partition import count_inter_tile_nets
+from tests.conftest import fresh_packed_design
+
+
+class TestOptions:
+    def test_exactly_one_granularity(self):
+        with pytest.raises(TilingError):
+            TilingOptions().resolve_n_tiles(100)
+        with pytest.raises(TilingError):
+            TilingOptions(n_tiles=4, tile_clbs=10).resolve_n_tiles(100)
+
+    def test_resolution_modes(self):
+        assert TilingOptions(n_tiles=8).resolve_n_tiles(100) == 8
+        assert TilingOptions(tile_clbs=25).resolve_n_tiles(100) == 4
+        assert TilingOptions(tile_fraction=0.25).resolve_n_tiles(100) == 4
+
+
+class TestPlanGrid:
+    def test_covers_needed_area(self):
+        device = custom_device(20, 20)
+        options = TilingOptions(n_tiles=10, area_overhead=0.2)
+        rects = plan_tile_grid(100, device, options)
+        assert len(rects) == 10
+        total = sum(r.area for r in rects)
+        assert total >= 120  # 100 * 1.2
+
+    def test_overhead_near_request(self):
+        device = custom_device(30, 30)
+        options = TilingOptions(n_tiles=10, area_overhead=0.2)
+        rects = plan_tile_grid(200, device, options)
+        total = sum(r.area for r in rects)
+        overhead = total / 200 - 1
+        assert 0.18 <= overhead <= 0.35
+
+    def test_no_overlap(self):
+        device = custom_device(20, 20)
+        rects = plan_tile_grid(100, device, TilingOptions(n_tiles=9))
+        for i, a in enumerate(rects):
+            for b in rects[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_prime_tile_count(self):
+        device = custom_device(20, 20)
+        rects = plan_tile_grid(120, device, TilingOptions(n_tiles=7))
+        assert len(rects) == 7
+
+    def test_min_side_enforced(self):
+        device = custom_device(10, 10)
+        with pytest.raises(TilingError):
+            plan_tile_grid(60, device, TilingOptions(n_tiles=40))
+
+    def test_device_too_small(self):
+        device = custom_device(5, 5)
+        with pytest.raises(TilingError):
+            plan_tile_grid(100, device, TilingOptions(n_tiles=4))
+
+    def test_stays_on_device(self):
+        device = custom_device(12, 12)
+        rects = plan_tile_grid(100, device, TilingOptions(n_tiles=6))
+        for r in rects:
+            assert device.clb_region.contains_rect(r)
+
+
+class TestTile:
+    def test_slack_accounting(self):
+        t = Tile(0, Rect(0, 0, 3, 3), {1, 2, 3})
+        assert t.capacity == 16
+        assert t.used == 3
+        assert t.slack == 13
+
+    def test_neighbors(self):
+        tiles = [
+            Tile(0, Rect(0, 0, 1, 1), set()),
+            Tile(1, Rect(2, 0, 3, 1), set()),
+            Tile(2, Rect(5, 0, 6, 1), set()),
+        ]
+        assert tiles[0].neighbors(tiles) == [1]
+        assert tiles[2].neighbors(tiles) == []
+
+
+@pytest.fixture(scope="module")
+def assigned_ctx():
+    packed = fresh_packed_design(width=10)
+    device = pick_device(packed.n_clbs, area_overhead=0.6,
+                         min_io=len(packed.io_blocks()))
+    layout = full_place_and_route(
+        packed, device, seed=3, preset=EFFORT_PRESETS["fast"],
+    )
+    rects = plan_tile_grid(
+        packed.n_clbs, device, TilingOptions(n_tiles=4, area_overhead=0.3)
+    )
+    tiles = assign_blocks_to_tiles(packed, layout.placement, rects)
+    return packed, device, layout, tiles
+
+
+class TestAssignment:
+    def test_every_block_assigned_once(self, assigned_ctx):
+        packed, device, layout, tiles = assigned_ctx
+        seen = [b for t in tiles for b in t.blocks]
+        assert len(seen) == len(set(seen)) == packed.n_clbs
+
+    def test_no_tile_overflows(self, assigned_ctx):
+        packed, device, layout, tiles = assigned_ctx
+        for t in tiles:
+            assert t.used <= t.capacity
+
+    def test_refinement_does_not_increase_cut(self, assigned_ctx):
+        packed, device, layout, tiles = assigned_ctx
+        fresh = [Tile(t.index, t.rect, set(t.blocks)) for t in tiles]
+
+        def cut(tile_list):
+            tile_of = {}
+            for t in tile_list:
+                for b in t.blocks:
+                    tile_of[b] = t.index
+            return count_inter_tile_nets(packed, tile_of)
+
+        before = cut(fresh)
+        refine_boundaries(packed, fresh, passes=2)
+        after = cut(fresh)
+        assert after <= before
+
+    def test_refinement_preserves_block_count(self, assigned_ctx):
+        packed, device, layout, tiles = assigned_ctx
+        fresh = [Tile(t.index, t.rect, set(t.blocks)) for t in tiles]
+        refine_boundaries(packed, fresh, passes=2)
+        seen = [b for t in fresh for b in t.blocks]
+        assert len(seen) == len(set(seen)) == packed.n_clbs

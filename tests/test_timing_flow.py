@@ -1,0 +1,126 @@
+"""Static timing and the P&R flows (full / region / incremental)."""
+
+import pytest
+
+from repro.arch import pick_device
+from repro.geometry import Rect
+from repro.pnr import (
+    EFFORT_PRESETS,
+    EffortMeter,
+    TimingModel,
+    critical_path,
+    full_place_and_route,
+    incremental_update,
+    replace_region,
+)
+from tests.conftest import fresh_packed_design
+
+
+@pytest.fixture(scope="module")
+def flow_ctx():
+    packed = fresh_packed_design(width=8)
+    device = pick_device(packed.n_clbs, area_overhead=0.6,
+                         min_io=len(packed.io_blocks()))
+    layout = full_place_and_route(
+        packed, device, seed=11, preset=EFFORT_PRESETS["fast"],
+    )
+    return packed, device, layout
+
+
+class TestTiming:
+    def test_positive_critical_path(self, flow_ctx):
+        packed, device, layout = flow_ctx
+        assert layout.critical_path() > 0
+
+    def test_routed_timing_at_least_placement_estimate(self, flow_ctx):
+        packed, device, layout = flow_ctx
+        unrouted = critical_path(packed, layout.placement, routes=None)
+        assert unrouted > 0
+
+    def test_model_scaling(self, flow_ctx):
+        packed, device, layout = flow_ctx
+        slow = TimingModel(t_lut=10.0)
+        assert layout.critical_path(slow) > layout.critical_path()
+
+    def test_sequential_paths_included(self, flow_ctx):
+        packed, device, layout = flow_ctx
+        # registered adder: critical path ends at an FF D pin; with a
+        # huge setup time the path must grow accordingly
+        pessimistic = TimingModel(t_setup=100.0)
+        assert layout.critical_path(pessimistic) > 100.0
+
+
+class TestReplaceRegion:
+    def test_outside_blocks_untouched(self, flow_ctx):
+        packed, device, layout = flow_ctx
+        work = layout.copy()
+        region = Rect(0, 0, device.nx // 2, device.ny - 1)
+        movable = set(work.placement.blocks_in_region(region))
+        if not movable:
+            pytest.skip("empty region")
+        outside = {
+            b: work.placement.site_of(b)
+            for b in (blk.index for blk in packed.clb_blocks())
+            if b not in movable
+        }
+        replace_region(
+            work, movable, [region], seed=5, preset=EFFORT_PRESETS["fast"],
+        )
+        for block, site in outside.items():
+            assert work.placement.site_of(block) == site
+
+    def test_moved_blocks_stay_inside(self, flow_ctx):
+        packed, device, layout = flow_ctx
+        work = layout.copy()
+        region = Rect(0, 0, device.nx - 1, device.ny // 2)
+        movable = set(work.placement.blocks_in_region(region))
+        if not movable:
+            pytest.skip("empty region")
+        replace_region(
+            work, movable, [region], seed=6, preset=EFFORT_PRESETS["fast"],
+        )
+        for block in movable:
+            assert region.contains(*work.placement.site_of(block))
+
+    def test_routes_remain_complete(self, flow_ctx):
+        packed, device, layout = flow_ctx
+        work = layout.copy()
+        region = Rect(0, 0, device.nx - 1, device.ny // 2)
+        movable = set(work.placement.blocks_in_region(region))
+        if not movable:
+            pytest.skip("empty region")
+        replace_region(
+            work, movable, [region], seed=7, preset=EFFORT_PRESETS["fast"],
+        )
+        for idx, tree in work.routes.items():
+            net = packed.nets[idx]
+            assert work.placement.site_of(net.driver) in tree.cells
+            for sink in net.sinks:
+                assert work.placement.site_of(sink) in tree.cells
+
+
+class TestIncremental:
+    def test_window_contains_change(self, flow_ctx):
+        packed, device, layout = flow_ctx
+        work = layout.copy()
+        block = packed.clb_blocks()[0].index
+        site = work.placement.site_of(block)
+        meter = EffortMeter()
+        window = incremental_update(
+            work, {block}, seed=8, preset=EFFORT_PRESETS["fast"], meter=meter,
+        )
+        assert window.contains(*site)
+        assert meter.work_units > 0
+
+    def test_window_grows_for_new_logic(self, flow_ctx):
+        packed, device, layout = flow_ctx
+        work = layout.copy()
+        block = packed.clb_blocks()[0].index
+        small = incremental_update(
+            work.copy(), {block}, seed=8, preset=EFFORT_PRESETS["fast"],
+        )
+        big = incremental_update(
+            work.copy(), {block}, needed_free_sites=small.area + 5,
+            seed=8, preset=EFFORT_PRESETS["fast"],
+        )
+        assert big.area > small.area
