@@ -1,0 +1,216 @@
+"""Engine performance benchmark: compiled kernel vs interpreted engine.
+
+Measures, per design:
+
+* **simulation throughput** — pattern-cycles/second of the sequential
+  simulator under each engine (identical outputs asserted);
+* **localization wall-clock** — a full detect→localize campaign under
+  each engine; the localization *compute* time (seed + probe picking +
+  emulation, excluding the tile P&R commits, which are engine-agnostic
+  and identical) is reported per probe, with the speedup and a
+  bit-identical check on every probe verdict and the final candidates.
+
+Results land in ``BENCH_perf.json`` so the perf trajectory is tracked
+across PRs.  Run with::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py \
+        [--designs s9234,mips,des] [--out BENCH_perf.json]
+
+The acceptance bar (checked at the end, non-zero exit on failure):
+>=5x localization-compute speedup on the largest benchmarked design.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.debug.session import EmulationDebugSession
+from repro.debug.testgen import random_stimulus
+from repro.errors import DebugFlowError
+from repro.generators import build_design
+from repro.netlist.simulate import SequentialSimulator
+from repro.pnr.effort import EFFORT_PRESETS
+
+DEFAULT_DESIGNS = ("s9234", "mips", "des")
+#: error seeds chosen so each design's campaign detects and probes
+ERROR_SEEDS = {"s9234": 3, "mips": 2, "des": 1}
+ENGINES = ("interpreted", "compiled")
+
+
+def bench_sim_throughput(
+    design: str, n_cycles: int = 24, n_patterns: int = 64, seed: int = 1
+) -> dict:
+    """Pattern-cycles/sec of the sequential simulator, both engines."""
+    bundle = build_design(design)
+    netlist = bundle.mapped
+    stimulus = random_stimulus(netlist, n_cycles, n_patterns, seed=seed)
+    out = {"n_instances": len(netlist)}
+    outputs = {}
+    for engine in ENGINES:
+        sim = SequentialSimulator(netlist, engine=engine)
+        sim.reset(n_patterns)  # warm: lowering happens at construction
+        t0 = time.perf_counter()
+        outputs[engine] = sim.run(stimulus, n_patterns)
+        dt = time.perf_counter() - t0
+        out[engine] = {
+            "seconds": dt,
+            "pattern_cycles_per_sec": n_cycles * n_patterns / dt,
+        }
+    assert outputs["interpreted"] == outputs["compiled"], (
+        f"{design}: engines disagree on simulation outputs"
+    )
+    out["identical_outputs"] = True
+    out["speedup"] = (
+        out["compiled"]["pattern_cycles_per_sec"]
+        / out["interpreted"]["pattern_cycles_per_sec"]
+    )
+    return out
+
+
+def _localization_campaign(design: str, engine: str, error_seed: int):
+    """One detect→localize→correct campaign; fresh design per engine."""
+    bundle = build_design(design)
+    session = EmulationDebugSession(
+        bundle.packed,
+        strategy="tiled",
+        seed=1,
+        preset=EFFORT_PRESETS["fast"],
+        engine=engine,
+    )
+    t0 = time.perf_counter()
+    report = session.run(error_kind="table_bit", error_seed=error_seed,
+                         max_probes=12)
+    total = time.perf_counter() - t0
+    return report, total
+
+
+def bench_localization(design: str, error_seed: int) -> dict:
+    out: dict = {}
+    reports = {}
+    for engine in ENGINES:
+        report, total = _localization_campaign(design, engine, error_seed)
+        reports[engine] = report
+        loc = report.localization
+        if loc is None or not loc.steps:
+            raise DebugFlowError(
+                f"{design}: error seed {error_seed} produced no probes; "
+                "pick a different ERROR_SEEDS entry"
+            )
+        out[engine] = {
+            "campaign_seconds": total,
+            "n_probes": loc.n_probes,
+            "n_candidates": len(loc.candidates),
+            "localization_seconds": loc.localization_seconds,
+            "seconds_per_probe": loc.localization_seconds / loc.n_probes,
+            "timings": {k: round(v, 6) for k, v in loc.timings.items()},
+        }
+
+    li = reports["interpreted"].localization
+    lc = reports["compiled"].localization
+    steps_i = [
+        (s.probe_instance, s.mismatch, s.candidates_before,
+         s.candidates_after)
+        for s in li.steps
+    ]
+    steps_c = [
+        (s.probe_instance, s.mismatch, s.candidates_before,
+         s.candidates_after)
+        for s in lc.steps
+    ]
+    assert steps_i == steps_c, f"{design}: probe trajectories diverge"
+    assert li.candidates == lc.candidates, (
+        f"{design}: final candidate sets diverge"
+    )
+    out["identical_results"] = True
+    out["speedup"] = (
+        li.localization_seconds / lc.localization_seconds
+    )
+    out["campaign_speedup"] = (
+        out["interpreted"]["campaign_seconds"]
+        / out["compiled"]["campaign_seconds"]
+    )
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--designs", default=",".join(DEFAULT_DESIGNS),
+        help="comma-separated design names (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_perf.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+    designs = [d.strip() for d in args.designs.split(",") if d.strip()]
+    if not designs:
+        parser.error("--designs must name at least one design")
+    from repro.generators import paper_design_names
+
+    unknown = [d for d in designs if d not in paper_design_names()]
+    if unknown:
+        parser.error(
+            f"unknown designs {unknown}; known: "
+            + ", ".join(paper_design_names())
+        )
+
+    results: dict = {"designs": {}}
+    for design in designs:
+        print(f"== {design} ==")
+        sim = bench_sim_throughput(design)
+        print(
+            "  sim: interpreted {:.0f} pc/s, compiled {:.0f} pc/s "
+            "({:.1f}x, bit-identical)".format(
+                sim["interpreted"]["pattern_cycles_per_sec"],
+                sim["compiled"]["pattern_cycles_per_sec"],
+                sim["speedup"],
+            )
+        )
+        loc = bench_localization(design, ERROR_SEEDS.get(design, 1))
+        print(
+            "  localization: interpreted {:.3f}s ({:.3f}s/probe), "
+            "compiled {:.3f}s ({:.4f}s/probe) — {:.1f}x, "
+            "bit-identical over {} probes".format(
+                loc["interpreted"]["localization_seconds"],
+                loc["interpreted"]["seconds_per_probe"],
+                loc["compiled"]["localization_seconds"],
+                loc["compiled"]["seconds_per_probe"],
+                loc["speedup"],
+                loc["compiled"]["n_probes"],
+            )
+        )
+        results["designs"][design] = {
+            "sim_throughput": sim,
+            "localization": loc,
+        }
+
+    # acceptance: >=5x localization speedup on the largest design
+    # (largest by instance count, not by --designs order)
+    largest = max(
+        designs,
+        key=lambda d: results["designs"][d]["sim_throughput"]["n_instances"],
+    )
+    largest_speedup = results["designs"][largest]["localization"]["speedup"]
+    results["largest_design"] = largest
+    results["largest_localization_speedup"] = largest_speedup
+    results["speedup_target"] = 5.0
+    results["speedup_ok"] = largest_speedup >= 5.0
+
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+    print(f"\nwrote {args.out}")
+    print(
+        "largest design {}: {:.1f}x localization speedup (target >=5x) "
+        "{}".format(
+            largest, largest_speedup,
+            "OK" if results["speedup_ok"] else "FAIL",
+        )
+    )
+    return 0 if results["speedup_ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

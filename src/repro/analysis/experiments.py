@@ -330,7 +330,7 @@ def _measure_single_tile_change(
     inst = netlist.instance(target)
     with ChangeRecorder(netlist, "fig5 small change") as rec:
         size = 1 << len(inst.inputs)
-        inst.params = {"table": inst.params["table"] ^ (size - 1)}
+        netlist.set_params(inst, {"table": inst.params["table"] ^ (size - 1)})
     assert rec.changes is not None
     report = tiled.apply_changeset(
         rec.changes, seed=seed, preset=ctx.config.preset,

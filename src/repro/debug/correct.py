@@ -22,7 +22,7 @@ def apply_correction(
     inst = netlist.instance(record.instance)
     with ChangeRecorder(netlist, f"fix {record.kind} @ {record.instance}") as rec:
         if record.kind in ("table_bit", "wrong_function", "output_invert"):
-            inst.params = {"table": record.undo["table"]}
+            netlist.set_params(inst, {"table": record.undo["table"]})
         elif record.kind == "input_swap":
             a, b = record.undo["pins"]
             net_a, net_b = inst.inputs[a], inst.inputs[b]

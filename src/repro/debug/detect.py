@@ -51,16 +51,18 @@ def detect_on_layout(
     golden: Netlist,
     stimulus: list[dict[str, int]],
     n_patterns: int,
+    engine: str = "compiled",
 ) -> list[Mismatch]:
     """Emulate the layout against the golden netlist on ``stimulus``.
 
     The golden model may lack the DUT's instrumentation inputs; control
     inputs default to 0 (disabled) on the DUT side when missing from
     the stimulus, and observation outputs are excluded by
-    :func:`compare_runs`.
+    :func:`compare_runs`.  ``engine`` selects the combinational
+    evaluator for both sides (see :func:`repro.netlist.make_engine`).
     """
-    emulator = Emulator(layout)
-    golden_sim = SequentialSimulator(golden)
+    emulator = Emulator(layout, engine=engine)
+    golden_sim = SequentialSimulator(golden, engine=engine)
     golden_sim.reset(n_patterns)
     emulator.reset(n_patterns)
 

@@ -74,7 +74,7 @@ def inject_error(
         inst = luts[rng.randrange(len(luts))]
         bit = rng.randrange(1 << len(inst.inputs))
         old = inst.params["table"]
-        inst.params = {"table": old ^ (1 << bit)}
+        netlist.set_params(inst, {"table": old ^ (1 << bit)})
         return ErrorRecord(kind, inst.name, f"minterm {bit}",
                            {"table": old})
 
@@ -86,7 +86,7 @@ def inject_error(
         for gate in rng.sample(choices, len(choices)):
             table = lut_table_for_gate(gate, len(inst.inputs))
             if table != old:
-                inst.params = {"table": table}
+                netlist.set_params(inst, {"table": table})
                 return ErrorRecord(kind, inst.name, f"became {gate}",
                                    {"table": old})
         raise DebugFlowError("could not find a differing gate function")
@@ -95,7 +95,7 @@ def inject_error(
         inst = luts[rng.randrange(len(luts))]
         old = inst.params["table"]
         size = 1 << len(inst.inputs)
-        inst.params = {"table": ~old & ((1 << size) - 1)}
+        netlist.set_params(inst, {"table": ~old & ((1 << size) - 1)})
         return ErrorRecord(kind, inst.name, "output inverted",
                            {"table": old})
 

@@ -17,19 +17,34 @@ probe matching the golden value removes its cone even though an
 upstream error might be masked there.  Wide pattern words (default 64)
 make that unlikely; the debug session re-runs localization if the fix
 verdict disagrees.
+
+Two engines drive the loop (bit-identical verdicts and candidates):
+
+* ``engine="compiled"`` — one shared instruction-tape kernel
+  (:mod:`repro.netlist.compiled`) is kept current across probe commits
+  via incremental recompile, and a :class:`~repro.netlist.cones.ConeIndex`
+  turns per-candidate cone queries into single big-int operations, so
+  probe selection is O(V+E) per round instead of O(V·E);
+* ``engine="interpreted"`` — the retained baseline: per-candidate BFS
+  cone walks and the instance-walking simulator.
+
+Per-phase wall-clock (seed / pick / emulate / commit) accumulates in
+``LocalizationResult.timings`` for the performance benchmark.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
-from repro.debug.detect import Mismatch, compare_runs
+from repro.debug.detect import Mismatch
 from repro.debug.instrument import add_observation_point
 from repro.debug.strategies import BaseStrategy
 from repro.emu.emulator import Emulator
 from repro.errors import DebugFlowError
-from repro.netlist.core import Netlist
-from repro.netlist.simulate import CombinationalSimulator
+from repro.netlist.cones import ConeIndex
+from repro.netlist.core import Netlist, port_name
+from repro.netlist.simulate import initial_state, make_engine
 
 
 @dataclass
@@ -46,10 +61,17 @@ class ProbeStep:
 class LocalizationResult:
     candidates: set[str]
     steps: list[ProbeStep] = field(default_factory=list)
+    #: wall-clock seconds per phase: seed/pick/emulate/commit
+    timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def n_probes(self) -> int:
         return len(self.steps)
+
+    @property
+    def localization_seconds(self) -> float:
+        """Localization compute time — everything but the P&R commits."""
+        return sum(v for k, v in self.timings.items() if k != "commit")
 
 
 class ConeLocalizer:
@@ -62,33 +84,36 @@ class ConeLocalizer:
         stimulus: list[dict[str, int]],
         n_patterns: int,
         goal_size: int = 4,
+        engine: str = "compiled",
     ) -> None:
         self.strategy = strategy
         self.golden = golden
         self.stimulus = stimulus
         self.n_patterns = n_patterns
         self.goal_size = goal_size
+        self.engine = engine
+        self._input_names = {
+            port_name(pi)
+            for pi in strategy.packed.netlist.primary_inputs()
+        }
         self._golden_nets = self._golden_net_history()
 
     # ------------------------------------------------------------------
 
     def _golden_net_history(self) -> list[dict[str, int]]:
         """Golden value of every net, per cycle (for probe comparison)."""
-        comb = CombinationalSimulator(self.golden)
-        state = {
-            ff.name: 0 if not ff.params.get("init", 0)
-            else (1 << self.n_patterns) - 1
-            for ff in self.golden.flip_flops()
-        }
-        names = {
-            pi.name.split(":", 1)[-1] for pi in self.golden.primary_inputs()
-        }
+        comb = make_engine(self.golden, self.engine)
+        state = initial_state(self.golden, self.n_patterns)
+        names = {port_name(pi) for pi in self.golden.primary_inputs()}
+        flops = self.golden.flip_flops()
         history = []
         for cycle_in in self.stimulus:
             inputs = {name: cycle_in.get(name, 0) for name in names}
             values = comb.probe(inputs, self.n_patterns, state)
             history.append(values)
-            _, state = comb.next_state(inputs, self.n_patterns, state)
+            # the probe view already carries every FF's D-net word, so
+            # the next state comes for free (no second full evaluation)
+            state = {ff.name: values[ff.inputs[0].name] for ff in flops}
         return history
 
     def seed_candidates(self, mismatches: list[Mismatch]) -> set[str]:
@@ -97,7 +122,7 @@ class ConeLocalizer:
             raise DebugFlowError("cannot localize without a failing output")
         netlist = self.strategy.packed.netlist
         po_by_name = {
-            po.name.split(":", 1)[-1]: po for po in netlist.primary_outputs()
+            port_name(po): po for po in netlist.primary_outputs()
         }
         candidates: set[str] | None = None
         for name in sorted({m.output for m in mismatches}):
@@ -113,47 +138,116 @@ class ConeLocalizer:
             if netlist.has_instance(n) and not netlist.instance(n).is_io
         }
 
+    def _seed_bitset(
+        self, cones: ConeIndex, mismatches: list[Mismatch]
+    ) -> int:
+        """Bitset twin of :meth:`seed_candidates` (identical result)."""
+        if not mismatches:
+            raise DebugFlowError("cannot localize without a failing output")
+        netlist = self.strategy.packed.netlist
+        po_by_name = {
+            port_name(po): po for po in netlist.primary_outputs()
+        }
+        candidates: int | None = None
+        for name in sorted({m.output for m in mismatches}):
+            po = po_by_name.get(name)
+            if po is None:
+                continue
+            cone = cones.fanin(po.name)
+            candidates = cone if candidates is None else candidates & cone
+        if not candidates:
+            raise DebugFlowError("failing outputs have no common cone")
+        return candidates & cones.logic_mask
+
     # ------------------------------------------------------------------
 
     def run(
         self, mismatches: list[Mismatch], max_probes: int = 8
     ) -> LocalizationResult:
-        candidates = self.seed_candidates(mismatches)
-        result = LocalizationResult(candidates=candidates)
+        """One probe loop, two candidate representations.
+
+        The loop body (commit, emulate, verdict, bookkeeping) is shared;
+        only the candidate-set operations differ per engine, which is
+        what keeps the two engines bit-identical by construction.
+        """
+        timings = {"seed": 0.0, "pick": 0.0, "emulate": 0.0, "commit": 0.0}
         netlist = self.strategy.packed.netlist
+        t0 = time.perf_counter()
+        ops: _CandidateOps
+        if self.engine == "compiled":
+            ops = _BitsetCandidateOps(self, netlist)
+        else:
+            ops = _SetCandidateOps(self, netlist)
+        ops.seed(mismatches)
+        timings["seed"] = time.perf_counter() - t0
+        result = LocalizationResult(candidates=set(), timings=timings)
+        emulator: Emulator | None = None
 
         for probe_no in range(max_probes):
-            if len(candidates) <= self.goal_size:
+            before = ops.count()
+            if before <= self.goal_size:
                 break
-            probe = self._pick_probe(netlist, candidates)
+            t0 = time.perf_counter()
+            probe = ops.pick()
+            timings["pick"] += time.perf_counter() - t0
             if probe is None:
                 break
-            probe_inst = netlist.instance(probe)
-            probe_net = probe_inst.output.name
+            probe_net = netlist.instance(probe).output.name
 
+            t0 = time.perf_counter()
             changes, _ = add_observation_point(
                 netlist, [probe_net], f"loc{probe_no}", sticky=False
             )
             self.strategy.commit(changes, anchor_instance=probe)
+            timings["commit"] += time.perf_counter() - t0
 
-            mismatch = self._probe_disagrees(probe_net, f"loc{probe_no}")
-            cone = netlist.fanin_cone([probe_inst], stop_at_ffs=False)
-            before = len(candidates)
-            if mismatch:
-                candidates &= cone
-                candidates.add(probe)
+            t0 = time.perf_counter()
+            if emulator is None:
+                emulator = Emulator(self.strategy.layout, engine=self.engine)
+                if self.engine == "compiled":
+                    # sync the shared kernel incrementally rather than
+                    # letting first use pay a full recompile
+                    emulator.refresh(changes=changes)
             else:
-                candidates -= (cone | {probe})
-            result.steps.append(
-                ProbeStep(probe, mismatch, before, len(candidates))
+                emulator.refresh(
+                    layout=self.strategy.layout, changes=changes
+                )
+            mismatch = self._probe_disagrees(
+                emulator, probe_net, f"loc{probe_no}"
             )
-            if not candidates:
+            timings["emulate"] += time.perf_counter() - t0
+
+            ops.apply_verdict(probe, mismatch)
+            after = ops.count()
+            result.steps.append(ProbeStep(probe, mismatch, before, after))
+            if after == 0:
                 raise DebugFlowError(
                     "localization eliminated every candidate "
                     "(reconvergent masking); rerun with more patterns"
                 )
-        result.candidates = candidates
+        result.candidates = ops.names()
         return result
+
+    def _pick_probe_bitset(
+        self, cones: ConeIndex, cand: int, n_cand: int
+    ) -> int | None:
+        """Bitset twin of :meth:`_pick_probe`: identical choice, one
+        int-AND + popcount per candidate instead of a BFS."""
+        target = n_cand / 2
+        best_idx, best_score = None, None
+        for i in cones.sorted_indices:
+            if not (cand >> i) & 1:
+                continue
+            cone_size = (cones.fanin_by_index(i) & cand).bit_count()
+            if cone_size == 0 or cone_size == n_cand:
+                continue
+            score = abs(cone_size - target)
+            if best_score is None or score < best_score:
+                best_idx, best_score = i, score
+        if best_idx is None:
+            ordered = [i for i in cones.sorted_indices if (cand >> i) & 1]
+            return ordered[len(ordered) // 2] if ordered else None
+        return best_idx
 
     def _pick_probe(
         self, netlist: Netlist, candidates: set[str]
@@ -180,21 +274,104 @@ class ConeLocalizer:
             return ordered[len(ordered) // 2] if ordered else None
         return best_name
 
-    def _probe_disagrees(self, probe_net: str, obs_name: str) -> bool:
+    def _probe_disagrees(
+        self, emulator: Emulator, probe_net: str, obs_name: str
+    ) -> bool:
         """Emulate and compare the probe output to the golden net value."""
-        emulator = Emulator(self.strategy.layout)
         emulator.reset(self.n_patterns)
-        netlist = self.strategy.packed.netlist
-        input_names = {
-            pi.name.split(":", 1)[-1] for pi in netlist.primary_inputs()
-        }
+        probe_port = f"obs_probe_{obs_name}"
         for cycle, cycle_in in enumerate(self.stimulus):
-            inputs = {name: cycle_in.get(name, 0) for name in input_names}
+            inputs = {
+                name: cycle_in.get(name, 0) for name in self._input_names
+            }
             outputs = emulator.step(inputs, self.n_patterns)
-            probe_value = outputs.get(f"obs_probe_{obs_name}")
+            probe_value = outputs.get(probe_port)
             golden_value = self._golden_nets[cycle].get(probe_net)
             if probe_value is None or golden_value is None:
                 continue
             if probe_value != golden_value:
                 return True
         return False
+
+
+class _CandidateOps:
+    """Candidate-set operations the shared probe loop is written over."""
+
+    def seed(self, mismatches: list[Mismatch]) -> None:
+        raise NotImplementedError
+
+    def count(self) -> int:
+        raise NotImplementedError
+
+    def pick(self) -> str | None:
+        raise NotImplementedError
+
+    def apply_verdict(self, probe: str, mismatch: bool) -> None:
+        raise NotImplementedError
+
+    def names(self) -> set[str]:
+        raise NotImplementedError
+
+
+class _SetCandidateOps(_CandidateOps):
+    """Retained baseline: name sets and per-query BFS cone walks."""
+
+    def __init__(self, localizer: ConeLocalizer, netlist: Netlist) -> None:
+        self.localizer = localizer
+        self.netlist = netlist
+        self.candidates: set[str] = set()
+
+    def seed(self, mismatches: list[Mismatch]) -> None:
+        self.candidates = self.localizer.seed_candidates(mismatches)
+
+    def count(self) -> int:
+        return len(self.candidates)
+
+    def pick(self) -> str | None:
+        return self.localizer._pick_probe(self.netlist, self.candidates)
+
+    def apply_verdict(self, probe: str, mismatch: bool) -> None:
+        cone = self.netlist.fanin_cone(
+            [self.netlist.instance(probe)], stop_at_ffs=False
+        )
+        if mismatch:
+            self.candidates &= cone
+            self.candidates.add(probe)
+        else:
+            self.candidates -= (cone | {probe})
+
+    def names(self) -> set[str]:
+        return self.candidates
+
+
+class _BitsetCandidateOps(_CandidateOps):
+    """Compiled-path twin: one int bitset, precomputed cone index."""
+
+    def __init__(self, localizer: ConeLocalizer, netlist: Netlist) -> None:
+        self.localizer = localizer
+        self.cones = ConeIndex(netlist, stop_at_ffs=False)
+        self.candidates = 0
+
+    def seed(self, mismatches: list[Mismatch]) -> None:
+        self.candidates = self.localizer._seed_bitset(self.cones, mismatches)
+
+    def count(self) -> int:
+        return self.candidates.bit_count()
+
+    def pick(self) -> str | None:
+        idx = self.localizer._pick_probe_bitset(
+            self.cones, self.candidates, self.candidates.bit_count()
+        )
+        return None if idx is None else self.cones.name_of(idx)
+
+    def apply_verdict(self, probe: str, mismatch: bool) -> None:
+        idx = self.cones.bit(probe)
+        cone = self.cones.fanin_by_index(idx)
+        probe_bit = 1 << idx
+        if mismatch:
+            self.candidates = (self.candidates & cone) | probe_bit
+        else:
+            self.candidates &= ~(cone | probe_bit)
+
+    def names(self) -> set[str]:
+        return self.cones.names_of(self.candidates)

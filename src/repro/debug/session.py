@@ -70,12 +70,14 @@ class EmulationDebugSession:
         preset: EffortPreset | None = None,
         n_patterns: int = 64,
         n_cycles: int = 8,
+        engine: str = "compiled",
     ) -> None:
         self.packed = packed
         self.preset = preset or EFFORT_PRESETS["normal"]
         self.seed = seed
         self.n_patterns = n_patterns
         self.n_cycles = n_cycles
+        self.engine = engine
         if device is None:
             device = pick_device(
                 packed.n_clbs,
@@ -143,7 +145,7 @@ class EmulationDebugSession:
 
         localizer = ConeLocalizer(
             self.strategy, self.golden, stimulus, self.n_patterns,
-            goal_size=goal_size,
+            goal_size=goal_size, engine=self.engine,
         )
         localization = localizer.run(mismatches, max_probes=max_probes)
         localized = record.instance in localization.candidates
@@ -175,7 +177,8 @@ class EmulationDebugSession:
 
     def _detect(self, stimulus) -> list[Mismatch]:
         return detect_on_layout(
-            self.strategy.layout, self.golden, stimulus, self.n_patterns
+            self.strategy.layout, self.golden, stimulus, self.n_patterns,
+            engine=self.engine,
         )
 
 

@@ -17,20 +17,31 @@ the flags the way a logic analyzer would.
 from __future__ import annotations
 
 from repro.errors import EmulationError
-from repro.netlist.simulate import CombinationalSimulator
+from repro.netlist.simulate import initial_state, make_engine
 from repro.pnr.flow import Layout
+from repro.tiling.eco import ChangeSet
 
 OBS_PREFIX = "obs_flag"
 
 
 class Emulator:
-    """Executes a placed-and-routed design cycle by cycle."""
+    """Executes a placed-and-routed design cycle by cycle.
 
-    def __init__(self, layout: Layout) -> None:
+    ``engine`` selects the combinational evaluator: ``"compiled"`` (the
+    instruction-tape kernel, shared per netlist and kept current across
+    ECO edits) or ``"interpreted"`` (the retained reference engine).
+    Long-lived consumers like the localizer construct one emulator and
+    call :meth:`refresh` after each committed change instead of
+    rebuilding — construction re-checks the whole configuration and
+    re-levelizes, which is exactly the per-probe cost this avoids.
+    """
+
+    def __init__(self, layout: Layout, engine: str = "compiled") -> None:
         self.layout = layout
+        self.engine = engine
         self._check_configuration()
         self.netlist = layout.packed.netlist
-        self._comb = CombinationalSimulator(self.netlist)
+        self._comb = make_engine(self.netlist, engine)
         self.state: dict[str, int] = {}
         self.cycle = 0
         self.reset()
@@ -48,12 +59,32 @@ class Emulator:
                     "re-pack before emulating"
                 )
 
+    def refresh(
+        self, layout: Layout | None = None, changes: ChangeSet | None = None
+    ) -> None:
+        """Track a committed ECO without rebuilding the emulator.
+
+        ``layout`` replaces the emulated layout (strategies may hand out
+        a new object after a commit) but must implement the same
+        netlist; ``changes`` lets the compiled kernel re-lower only the
+        affected fanout region.
+        """
+        if layout is not None:
+            if layout.packed.netlist is not self.netlist:
+                raise EmulationError(
+                    "refresh() cannot switch to a different netlist; "
+                    "construct a new Emulator"
+                )
+            self.layout = layout
+        self._check_configuration()
+        if self.engine == "compiled" and changes is not None:
+            self._comb.apply_changeset(changes)
+        elif self.engine == "interpreted":
+            # re-levelize: the interpreted engine snapshots topo order
+            self._comb = make_engine(self.netlist, self.engine)
+
     def reset(self, n_patterns: int = 1) -> None:
-        mask = (1 << n_patterns) - 1
-        self.state = {
-            ff.name: (mask if ff.params.get("init", 0) else 0)
-            for ff in self.netlist.flip_flops()
-        }
+        self.state = initial_state(self.netlist, n_patterns)
         self.cycle = 0
 
     def step(self, inputs: dict[str, int], n_patterns: int = 1) -> dict[str, int]:

@@ -22,12 +22,16 @@ from repro.netlist.cells import (
     is_combinational,
     is_sequential,
 )
-from repro.netlist.core import Instance, Net, Netlist
+from repro.netlist.core import Adjacency, Instance, Net, Netlist, port_name
 from repro.netlist.builder import NetlistBuilder, Word
+from repro.netlist.compiled import CompiledKernel, kernel_for
+from repro.netlist.cones import ConeIndex
 from repro.netlist.hierarchy import HierNode, build_flat_hierarchy
 from repro.netlist.simulate import (
     CombinationalSimulator,
     SequentialSimulator,
+    initial_state,
+    make_engine,
     simulate_words,
 )
 from repro.netlist.validate import check_netlist
@@ -39,15 +43,22 @@ __all__ = [
     "eval_gate",
     "is_combinational",
     "is_sequential",
+    "Adjacency",
     "Instance",
     "Net",
     "Netlist",
+    "port_name",
     "NetlistBuilder",
     "Word",
+    "CompiledKernel",
+    "kernel_for",
+    "ConeIndex",
     "HierNode",
     "build_flat_hierarchy",
     "CombinationalSimulator",
     "SequentialSimulator",
+    "initial_state",
+    "make_engine",
     "simulate_words",
     "check_netlist",
 ]

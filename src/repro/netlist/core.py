@@ -35,6 +35,14 @@ from repro.netlist.cells import (
 )
 
 
+def port_name(marker: "Instance") -> str:
+    """Strip the ``pi:``/``po:`` prefix from an IO marker name."""
+    name = marker.name
+    if ":" in name:
+        return name.split(":", 1)[1]
+    return name
+
+
 class Net:
     """A signal: one driver pin, many sink pins.
 
@@ -125,14 +133,55 @@ class NetlistStats:
         return self.n_gates + self.n_luts + self.n_ffs
 
 
+@dataclass(frozen=True)
+class Adjacency:
+    """Precomputed sparse connectivity over a fixed instance indexing.
+
+    ``names[i]`` follows combinational topological order; ``fanin[i]``
+    and ``fanout[i]`` hold instance indices (drivers of ``i``'s input
+    pins, and sinks of ``i``'s output net).  The table is memoized on
+    the owning :class:`Netlist` and invalidated by its revision counter,
+    so engines that repeatedly walk the graph (compiled simulation,
+    bitset cone computation) stop paying the dict-of-objects traversal
+    cost on every construction.
+    """
+
+    names: tuple[str, ...]
+    index: dict[str, int]
+    fanin: tuple[tuple[int, ...], ...]
+    fanout: tuple[tuple[int, ...], ...]
+
+
 class Netlist:
-    """A mutable flat netlist with consistent connectivity tables."""
+    """A mutable flat netlist with consistent connectivity tables.
+
+    Structural queries (:meth:`topo_order`, :meth:`levels`,
+    :meth:`adjacency`) are memoized; every mutation bumps
+    :attr:`revision` and drops the caches, so repeated simulator and
+    emulator construction between ECO edits is O(1) instead of O(V+E).
+    The returned cached objects must be treated as read-only.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._instances: dict[str, Instance] = {}
         self._nets: dict[str, Net] = {}
         self._uid = 0
+        self._revision = 0
+        self._topo_cache: list[Instance] | None = None
+        self._levels_cache: dict[str, int] | None = None
+        self._adj_cache: Adjacency | None = None
+
+    @property
+    def revision(self) -> int:
+        """Monotone mutation counter; engines key their caches on it."""
+        return self._revision
+
+    def _mutated(self) -> None:
+        self._revision += 1
+        self._topo_cache = None
+        self._levels_cache = None
+        self._adj_cache = None
 
     # ------------------------------------------------------------------
     # construction
@@ -153,6 +202,7 @@ class Netlist:
             raise NetlistError(f"net {name!r} already exists")
         net = Net(name)
         self._nets[name] = net
+        self._mutated()
         return net
 
     def add_instance(
@@ -190,6 +240,7 @@ class Netlist:
             output.driver = inst
         for idx, net in enumerate(input_list):
             net.sinks.append((inst, idx))
+        self._mutated()
         return inst
 
     def add_input(self, name: str) -> Net:
@@ -303,6 +354,7 @@ class Netlist:
         old.sinks.remove((inst, index))
         inst.inputs[index] = net
         net.sinks.append((inst, index))
+        self._mutated()
 
     def change_kind(
         self, inst: Instance, kind: CellKind, params: dict | None = None
@@ -319,6 +371,17 @@ class Netlist:
             raise NetlistError("cannot change to/from OUTPUT markers")
         inst.kind = kind
         inst.params = params if params is not None else {}
+        self._mutated()
+
+    def set_params(self, inst: Instance, params: dict) -> None:
+        """Replace an instance's params, bumping the revision counter.
+
+        Use this (not ``inst.params = {...}``) for functional edits like
+        LUT retabling so memoizing engines observe the change.
+        """
+        self._require_instance(inst)
+        inst.params = dict(params)
+        self._mutated()
 
     def transfer_sinks(
         self,
@@ -347,6 +410,8 @@ class Netlist:
             target.sinks.append((inst, idx))
             moved += 1
         source.sinks = remaining
+        if moved:
+            self._mutated()
         return moved
 
     def remove_instance(self, inst: Instance) -> None:
@@ -357,18 +422,22 @@ class Netlist:
         if inst.output is not None:
             inst.output.driver = None
         del self._instances[inst.name]
+        self._mutated()
 
     def remove_net(self, net: Net) -> None:
         self._require_net(net)
         if net.driver is not None or net.sinks:
             raise NetlistError(f"net {net.name!r} is still connected")
         del self._nets[net.name]
+        self._mutated()
 
     def prune_dangling(self) -> int:
         """Drop nets with neither driver nor sinks; return count removed."""
         dangling = [n for n in self._nets.values() if n.driver is None and not n.sinks]
         for net in dangling:
             del self._nets[net.name]
+        if dangling:
+            self._mutated()
         return len(dangling)
 
     def rename_instance(self, inst: Instance, new_name: str) -> None:
@@ -378,6 +447,7 @@ class Netlist:
         del self._instances[inst.name]
         inst.name = new_name
         self._instances[new_name] = inst
+        self._mutated()
 
     # ------------------------------------------------------------------
     # analysis
@@ -389,7 +459,15 @@ class Netlist:
         Sources are primary inputs, constants and DFF outputs; a DFF's D
         pin is a cycle-breaking sink.  Raises :class:`ValidationError` on
         a combinational loop.
+
+        The result is memoized until the next mutation; callers must not
+        modify the returned list.
         """
+        if self._topo_cache is None:
+            self._topo_cache = self._compute_topo_order()
+        return self._topo_cache
+
+    def _compute_topo_order(self) -> list[Instance]:
         indegree: dict[str, int] = {}
         ready: deque[Instance] = deque()
         for inst in self._instances.values():
@@ -430,7 +508,15 @@ class Netlist:
         return order
 
     def levels(self) -> dict[str, int]:
-        """Logic level (unit-delay depth) of every instance."""
+        """Logic level (unit-delay depth) of every instance.
+
+        Memoized until the next mutation; treat the result as read-only.
+        """
+        if self._levels_cache is None:
+            self._levels_cache = self._compute_levels()
+        return self._levels_cache
+
+    def _compute_levels(self) -> dict[str, int]:
         level: dict[str, int] = {}
         for inst in self.topo_order():
             if inst.kind in (CellKind.INPUT, CellKind.CONST0, CellKind.CONST1):
@@ -469,6 +555,37 @@ class Netlist:
         stats.depth = self.depth()
         return stats
 
+    def adjacency(self) -> Adjacency:
+        """Sparse instance-index connectivity in topological order.
+
+        Memoized until the next mutation; treat the result as read-only.
+        """
+        if self._adj_cache is None:
+            self._adj_cache = self._compute_adjacency()
+        return self._adj_cache
+
+    def _compute_adjacency(self) -> Adjacency:
+        order = self.topo_order()
+        names = tuple(inst.name for inst in order)
+        index = {name: i for i, name in enumerate(names)}
+        fanin: list[tuple[int, ...]] = []
+        fanout: list[list[int]] = [[] for _ in order]
+        for i, inst in enumerate(order):
+            drivers = []
+            for net in inst.inputs:
+                if net.driver is not None:
+                    drivers.append(index[net.driver.name])
+            fanin.append(tuple(drivers))
+        for i in range(len(order)):
+            for d in fanin[i]:
+                fanout[d].append(i)
+        return Adjacency(
+            names=names,
+            index=index,
+            fanin=tuple(fanin),
+            fanout=tuple(tuple(f) for f in fanout),
+        )
+
     def fanin_cone(
         self, seeds: Iterable[Instance], stop_at_ffs: bool = True
     ) -> set[str]:
@@ -498,12 +615,16 @@ class Netlist:
         """Names of instances in the transitive fanout of ``seeds``."""
         seen: set[str] = set()
         work = list(seeds)
+        # snapshot seed names up front: ``seeds`` may be a one-shot
+        # iterator (already drained into ``work``), and membership tests
+        # against it would then silently see an empty sequence
+        seed_names = {inst.name for inst in work}
         while work:
             inst = work.pop()
             if inst.name in seen:
                 continue
             seen.add(inst.name)
-            if stop_at_ffs and inst.is_ff and inst not in seeds:
+            if stop_at_ffs and inst.is_ff and inst.name not in seed_names:
                 continue
             if inst.output is None:
                 continue

@@ -5,26 +5,56 @@ signal value under test pattern ``i``.  A single pass therefore evaluates
 an arbitrary number of patterns at once, which keeps golden-model
 emulation of the thousand-CLB designs fast enough for the debug loop.
 
-Two engines are provided:
+Two combinational engines are provided behind one interface
+(``run`` / ``next_state`` / ``probe``):
 
-* :class:`CombinationalSimulator` — stateless, for pure logic cones;
-* :class:`SequentialSimulator` — maintains flip-flop state across cycles
-  and is the reference model for :mod:`repro.emu`.
+* :class:`CombinationalSimulator` — the retained interpreted engine,
+  walking instances and dispatching through ``eval_gate``;
+* :class:`repro.netlist.compiled.CompiledKernel` — the instruction-tape
+  engine (bit-exact, much faster); selected with ``engine="compiled"``
+  and shared per netlist via :func:`repro.netlist.compiled.kernel_for`.
+
+:class:`SequentialSimulator` layers flip-flop state on either engine and
+is the reference model for :mod:`repro.emu`.
 """
 
 from __future__ import annotations
 
 from repro.errors import NetlistError
 from repro.netlist.cells import CellKind, eval_gate
-from repro.netlist.core import Instance, Netlist
+from repro.netlist.core import Instance, Netlist, port_name
+
+_port_name = port_name  # retained alias
 
 
-def _port_name(marker: Instance) -> str:
-    """Strip the ``pi:``/``po:`` prefix from an IO marker name."""
-    name = marker.name
-    if ":" in name:
-        return name.split(":", 1)[1]
-    return name
+def initial_state(netlist: Netlist, n_patterns: int) -> dict[str, int]:
+    """Every FF's init value replicated across ``n_patterns`` patterns.
+
+    The single source of truth for reset state, shared by the
+    sequential simulator, the emulator and the localizer's golden run.
+    """
+    mask = (1 << n_patterns) - 1
+    return {
+        ff.name: (mask if ff.params.get("init", 0) else 0)
+        for ff in netlist.flip_flops()
+    }
+
+
+def make_engine(netlist: Netlist, engine: str = "compiled"):
+    """Combinational engine factory: ``"compiled"`` or ``"interpreted"``.
+
+    The compiled engine is shared per netlist (one lowering reused by
+    every consumer); the interpreted engine is constructed fresh.
+    """
+    if engine == "compiled":
+        from repro.netlist.compiled import kernel_for
+
+        return kernel_for(netlist)
+    if engine == "interpreted":
+        return CombinationalSimulator(netlist)
+    raise NetlistError(
+        f"unknown engine {engine!r}; choose 'compiled' or 'interpreted'"
+    )
 
 
 class CombinationalSimulator:
@@ -115,20 +145,17 @@ class CombinationalSimulator:
 class SequentialSimulator:
     """Cycle-accurate reference model with explicit FF state."""
 
-    def __init__(self, netlist: Netlist) -> None:
-        self._comb = CombinationalSimulator(netlist)
+    def __init__(self, netlist: Netlist, engine: str = "compiled") -> None:
+        self._comb = make_engine(netlist, engine)
         self.netlist = netlist
+        self.engine = engine
         self.state: dict[str, int] = {}
         self.cycle = 0
         self.reset(n_patterns=1)
 
     def reset(self, n_patterns: int = 1) -> None:
         """Load every FF with its init value replicated over patterns."""
-        mask = (1 << n_patterns) - 1
-        self.state = {
-            ff.name: (mask if ff.params.get("init", 0) else 0)
-            for ff in self.netlist.flip_flops()
-        }
+        self.state = initial_state(self.netlist, n_patterns)
         self.cycle = 0
 
     def step(self, inputs: dict[str, int], n_patterns: int = 1) -> dict[str, int]:

@@ -22,13 +22,18 @@ class ChangeSet:
     * ``new_instances`` — freshly created cells (mapped primitives and
       IO markers), not yet known to the packing;
     * ``removed_instances`` — names of cells deleted from the netlist;
-    * ``description`` — human-readable provenance, kept for reports.
+    * ``description`` — human-readable provenance, kept for reports;
+    * ``base_revision`` — the netlist revision the delta starts from
+      (``None`` when unknown); lets incremental consumers like the
+      compiled simulation kernel verify the changeset covers every
+      mutation since they last synchronized.
     """
 
     description: str = ""
     changed_instances: set[str] = field(default_factory=set)
     new_instances: set[str] = field(default_factory=set)
     removed_instances: set[str] = field(default_factory=set)
+    base_revision: int | None = None
 
     def merge(self, other: "ChangeSet") -> "ChangeSet":
         """Union of two deltas (e.g. a fix plus fresh test logic)."""
@@ -37,6 +42,11 @@ class ChangeSet:
             changed_instances=set(self.changed_instances),
             new_instances=set(self.new_instances),
             removed_instances=set(self.removed_instances),
+            base_revision=(
+                None
+                if self.base_revision is None or other.base_revision is None
+                else min(self.base_revision, other.base_revision)
+            ),
         )
         merged.changed_instances |= other.changed_instances
         merged.new_instances |= other.new_instances
@@ -77,6 +87,7 @@ class ChangeRecorder:
 
     def __enter__(self) -> "ChangeRecorder":
         self._before = self._snapshot()
+        self._base_revision = getattr(self.netlist, "revision", None)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -94,6 +105,7 @@ class ChangeRecorder:
             changed_instances=changed,
             new_instances=set(after) - set(before),
             removed_instances=set(before) - set(after),
+            base_revision=getattr(self, "_base_revision", None),
         )
 
     def _snapshot(self) -> dict[str, tuple]:
