@@ -51,32 +51,47 @@ def add_observation_point(
     """
     if not watch_nets:
         raise DebugFlowError("observation point needs at least one net")
-    with ChangeRecorder(netlist, f"observe {name}") as rec:
-        nets = [netlist.net(n) for n in watch_nets]
-        parity = _parity_tree(netlist, nets, prefix=f"obs_{name}")
-        if expected_parity:
-            flip = netlist.add_lut(
-                [parity], 0b01, name=f"obs_{name}_pol"
-            )
-            parity = flip.output
+    # observation logic is purely additive (existing cells keep their
+    # kind, wiring and tables), so the changeset is built directly from
+    # the created names instead of diffing the whole netlist — probe
+    # commits are the localization hot loop
+    base_revision = getattr(netlist, "revision", None)
+    created: set[str] = set()
+    nets = [netlist.net(n) for n in watch_nets]
+    parity = _parity_tree(netlist, nets, prefix=f"obs_{name}", created=created)
+    if expected_parity:
+        flip = netlist.add_lut(
+            [parity], 0b01, name=f"obs_{name}_pol"
+        )
+        created.add(flip.name)
+        parity = flip.output
 
-        outputs = [f"obs_probe_{name}"]
-        netlist.add_output(f"obs_probe_{name}", parity)
-        if sticky:
-            flag_q = netlist.add_net(f"obs_{name}_flag_q")
-            hold = netlist.add_lut(
-                [parity, flag_q], _OR2, name=f"obs_{name}_hold"
-            )
-            netlist.add_dff(
-                hold.output, name=f"obs_{name}_ff", output=flag_q
-            )
-            netlist.add_output(f"obs_flag_{name}", flag_q)
-            outputs.append(f"obs_flag_{name}")
-    assert rec.changes is not None
-    return rec.changes, outputs
+    outputs = [f"obs_probe_{name}"]
+    created.add(netlist.add_output(f"obs_probe_{name}", parity).name)
+    if sticky:
+        flag_q = netlist.add_net(f"obs_{name}_flag_q")
+        hold = netlist.add_lut(
+            [parity, flag_q], _OR2, name=f"obs_{name}_hold"
+        )
+        created.add(hold.name)
+        ff = netlist.add_dff(
+            hold.output, name=f"obs_{name}_ff", output=flag_q
+        )
+        created.add(ff.name)
+        created.add(netlist.add_output(f"obs_flag_{name}", flag_q).name)
+        outputs.append(f"obs_flag_{name}")
+    changes = ChangeSet(
+        description=f"observe {name}",
+        new_instances=created,
+        base_revision=base_revision,
+    )
+    return changes, outputs
 
 
-def _parity_tree(netlist: Netlist, nets: list[Net], prefix: str) -> Net:
+def _parity_tree(
+    netlist: Netlist, nets: list[Net], prefix: str,
+    created: set[str] | None = None,
+) -> Net:
     layer = list(nets)
     stage = 0
     while len(layer) > 1:
@@ -92,6 +107,8 @@ def _parity_tree(netlist: Netlist, nets: list[Net], prefix: str) -> Net:
             lut = netlist.add_lut(
                 chunk, table, name=f"{prefix}_x{stage}_{i // 4}"
             )
+            if created is not None:
+                created.add(lut.name)
             nxt.append(lut.output)
         layer = nxt
         stage += 1

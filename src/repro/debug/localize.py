@@ -29,7 +29,11 @@ Two engines drive the loop (bit-identical verdicts and candidates):
   cone walks and the instance-walking simulator.
 
 Per-phase wall-clock (seed / pick / emulate / commit) accumulates in
-``LocalizationResult.timings`` for the performance benchmark.
+``LocalizationResult.timings`` for the performance benchmark.  The
+commit phase runs on the commit-path substrate: fabric-table routing
+and incremental-bbox annealing on a cold cache, and precomputed
+tile-configuration replay (:mod:`repro.tiling.cache`) when an identical
+reconfiguration was committed before.
 """
 
 from __future__ import annotations

@@ -37,6 +37,7 @@ from repro.netlist.core import Netlist
 from repro.netlist.validate import check_netlist
 from repro.pnr.effort import EffortMeter, EffortPreset, EFFORT_PRESETS
 from repro.synth.pack import PackedDesign, refresh_block_nets
+from repro.tiling.cache import DEFAULT_TILE_CACHE
 from repro.tiling.partition import TilingOptions
 
 
@@ -55,6 +56,8 @@ class DebugReport:
     total_effort: EffortMeter
     initial_effort: EffortMeter
     notes: list[str] = field(default_factory=list)
+    #: commits replayed from precomputed tile configurations
+    n_commit_cache_hits: int = 0
 
 
 class EmulationDebugSession:
@@ -71,6 +74,7 @@ class EmulationDebugSession:
         n_patterns: int = 64,
         n_cycles: int = 8,
         engine: str = "compiled",
+        tile_cache=DEFAULT_TILE_CACHE,
     ) -> None:
         self.packed = packed
         self.preset = preset or EFFORT_PRESETS["normal"]
@@ -91,7 +95,7 @@ class EmulationDebugSession:
         )
         self.strategy: BaseStrategy = make_strategy(
             strategy, packed, device, seed=seed, preset=self.preset,
-            tiling=tiling,
+            tiling=tiling, tile_cache=tile_cache,
         )
 
     # ------------------------------------------------------------------
@@ -171,6 +175,7 @@ class EmulationDebugSession:
             total_effort=self.strategy.total_effort,
             initial_effort=initial_meter,
             notes=notes,
+            n_commit_cache_hits=self.strategy.cache_hits,
         )
 
     # ------------------------------------------------------------------

@@ -29,6 +29,11 @@ from repro.pnr.effort import EffortMeter, EffortPreset, EFFORT_PRESETS
 from repro.pnr.flow import Layout, full_place_and_route, incremental_update
 from repro.rng import derive_seed
 from repro.synth.pack import PackedDesign, extend_packing, refresh_block_nets
+from repro.tiling.cache import (
+    DEFAULT_TILE_CACHE,
+    TileConfigCache,
+    cached_full_place_and_route,
+)
 from repro.tiling.eco import ChangeSet
 from repro.tiling.manager import TiledLayout
 from repro.tiling.partition import TilingOptions
@@ -75,24 +80,37 @@ class BaseStrategy:
         seed: int = 1,
         preset: EffortPreset | None = None,
         tiling: TilingOptions | None = None,
+        tile_cache: TileConfigCache | None = DEFAULT_TILE_CACHE,
     ) -> None:
         self.packed = packed
         self.device = device
         self.seed = seed
         self.preset = preset or EFFORT_PRESETS["normal"]
         self.tiling_options = tiling or TilingOptions(n_tiles=10)
+        #: configuration cache for initial P&R and tile commits; pass
+        #: None to force every implementation to be computed fresh
+        #: (e.g. when comparing effort meters across repeated runs)
+        self.tile_cache = tile_cache
         self.commit_history: list[CommitRecord] = []
+        #: commits served from the tile-configuration cache (tiled only)
+        self.cache_hits = 0
         self._commit_count = 0
         self._layout: Layout | None = None
 
     # -- construction --------------------------------------------------
 
     def build_initial(self, meter: EffortMeter | None = None) -> Layout:
-        """Step 2: the original place-and-route (not a debugging cost)."""
+        """Step 2: the original place-and-route (not a debugging cost).
+
+        Served from the whole-design configuration cache when the
+        identical implementation was computed before (e.g. the same
+        campaign re-run under another simulation engine).
+        """
         meter = meter if meter is not None else EffortMeter()
-        self._layout = full_place_and_route(
+        self._layout = cached_full_place_and_route(
             self.packed, self.device, seed=self.seed, preset=self.preset,
-            meter=meter, strict_routing=False,
+            meter=meter, strict_routing=False, context="initial",
+            cache=self.tile_cache,
         )
         return self._layout
 
@@ -142,6 +160,7 @@ class TiledStrategy(BaseStrategy):
             self.packed, self.device, self.tiling_options,
             seed=self.seed, preset=self.preset,
             initial_layout=self._layout,
+            tile_cache=self.tile_cache,
         )
         self._layout = self.tiled.layout
 
@@ -155,11 +174,12 @@ class TiledStrategy(BaseStrategy):
             anchor_instance=anchor_instance,
         )
         self._layout = self.tiled.layout
+        detail = f"tiles {report.affected_tiles}"
+        if report.cache_hit:
+            self.cache_hits += 1
+            detail += " (cached config)"
         self.commit_history.append(
-            CommitRecord(
-                changes.description, report.effort,
-                detail=f"tiles {report.affected_tiles}",
-            )
+            CommitRecord(changes.description, report.effort, detail=detail)
         )
         return report.effort
 
@@ -233,6 +253,7 @@ def make_strategy(
     seed: int = 1,
     preset: EffortPreset | None = None,
     tiling: TilingOptions | None = None,
+    tile_cache: TileConfigCache | None = DEFAULT_TILE_CACHE,
 ) -> BaseStrategy:
     """Factory keyed by strategy name (see :data:`STRATEGY_NAMES`)."""
     classes = {
@@ -247,4 +268,5 @@ def make_strategy(
         raise DebugFlowError(
             f"unknown strategy {name!r}; choose from {STRATEGY_NAMES}"
         ) from None
-    return cls(packed, device, seed=seed, preset=preset, tiling=tiling)
+    return cls(packed, device, seed=seed, preset=preset, tiling=tiling,
+               tile_cache=tile_cache)

@@ -7,7 +7,7 @@
   design, the vehicle for error detection (paper step 21: "emulate").
 """
 
-from repro.emu.bitstream import Bitstream, frames_for_tiles
+from repro.emu.bitstream import Bitstream, block_logic_config, frames_for_tiles
 from repro.emu.emulator import Emulator
 
-__all__ = ["Bitstream", "frames_for_tiles", "Emulator"]
+__all__ = ["Bitstream", "block_logic_config", "frames_for_tiles", "Emulator"]

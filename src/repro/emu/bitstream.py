@@ -27,9 +27,37 @@ from __future__ import annotations
 import hashlib
 
 from repro.geometry import Rect
-from repro.netlist.cells import CellKind
 from repro.pnr.flow import Layout
-from repro.synth.pack import BlockKind
+from repro.synth.pack import PackedDesign
+
+
+def block_logic_config(packed: PackedDesign, block_index: int) -> bytes:
+    """Canonical byte encoding of one block's logic configuration.
+
+    For a CLB this is the per-BLE frame content (LUT truth tables and
+    input wiring, FF inits and D nets) — the same bytes the bitstream
+    frames hash, which is why the :class:`~repro.tiling.cache.TileConfigCache`
+    keys on it: equal bytes means an identical reconfiguration target.
+    IOBs encode their direction and pad name.
+    """
+    block = packed.blocks[block_index]
+    if not block.is_clb:
+        return f"{block.kind}:{block.name}".encode()
+    netlist = packed.netlist
+    clb = packed.clb_of_block(block_index)
+    parts: list[bytes] = []
+    for ble in clb.bles:
+        if ble.lut and netlist.has_instance(ble.lut):
+            lut = netlist.instance(ble.lut)
+            parts.append(b"L")
+            parts.append(lut.params.get("table", 0).to_bytes(2, "little"))
+            parts.append(",".join(n.name for n in lut.inputs).encode())
+        if ble.ff and netlist.has_instance(ble.ff):
+            ff = netlist.instance(ble.ff)
+            parts.append(b"F")
+            parts.append(bytes([ff.params.get("init", 0)]))
+            parts.append(ff.inputs[0].name.encode())
+    return b"|".join(parts)
 
 
 class Bitstream:
@@ -44,29 +72,8 @@ class Bitstream:
 
     def _build_logic(self) -> None:
         packed = self.layout.packed
-        netlist = packed.netlist
         for site, block_idx in self.layout.placement.clb_at.items():
-            block = packed.blocks[block_idx]
-            parts: list[bytes] = []
-            clb = packed.clbs[block_idx] if block.is_clb else None
-            if clb is None:  # pragma: no cover - clb_at only holds CLBs
-                continue
-            for ble in clb.bles:
-                if ble.lut and netlist.has_instance(ble.lut):
-                    lut = netlist.instance(ble.lut)
-                    parts.append(b"L")
-                    parts.append(
-                        lut.params.get("table", 0).to_bytes(2, "little")
-                    )
-                    parts.append(
-                        ",".join(n.name for n in lut.inputs).encode()
-                    )
-                if ble.ff and netlist.has_instance(ble.ff):
-                    ff = netlist.instance(ble.ff)
-                    parts.append(b"F")
-                    parts.append(bytes([ff.params.get("init", 0)]))
-                    parts.append(ff.inputs[0].name.encode())
-            self.site_config[site] = b"|".join(parts)
+            self.site_config[site] = block_logic_config(packed, block_idx)
 
     def _attach_intra_tile_routing(self) -> None:
         """Fold each route edge into the config of the sites it touches."""

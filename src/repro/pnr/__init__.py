@@ -27,6 +27,7 @@ from repro.pnr.flow import (
     Layout,
     full_place_and_route,
     incremental_update,
+    layout_legality_errors,
     replace_region,
 )
 
@@ -47,5 +48,6 @@ __all__ = [
     "Layout",
     "full_place_and_route",
     "incremental_update",
+    "layout_legality_errors",
     "replace_region",
 ]

@@ -18,7 +18,7 @@ Three entry points, all effort-metered:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.arch.device import Device
 from repro.errors import PlacementError, RoutingError
@@ -27,6 +27,7 @@ from repro.pnr.effort import EffortMeter, EffortPreset, EFFORT_PRESETS
 from repro.pnr.placement import PlaceConstraints, Placement
 from repro.pnr.placer import place_design
 from repro.pnr.router import (
+    Edge,
     RouteTree,
     RoutingState,
     grow_steiner_tree,
@@ -53,15 +54,12 @@ class Layout:
         return critical_path(self.packed, self.placement, self.routes, model)
 
     def copy(self) -> "Layout":
-        state = RoutingState(self.device)
-        state.usage = dict(self.state.usage)
-        state.history = dict(self.state.history)
         return Layout(
             self.packed,
             self.device,
             self.placement.copy(),
             {idx: tree.copy() for idx, tree in self.routes.items()},
-            state,
+            self.state.copy(),
         )
 
 
@@ -315,6 +313,254 @@ def _reroute_with_locked_interface(
         if site in hops:
             tree.sink_hops[s] = hops[site]
     return tree
+
+
+# ----------------------------------------------------------------------
+# layout legality
+# ----------------------------------------------------------------------
+
+def layout_legality_errors(
+    layout: Layout, check_capacity: bool = True
+) -> list[str]:
+    """Full legality audit; returns human-readable violations (empty = legal).
+
+    Checks placement completeness, every routed net's terminal
+    connectivity over unit-length edges, channel-usage bookkeeping
+    consistency against a recount, and (optionally) channel capacity.
+    Shared by the perf benchmark's ``routed_legal`` gate and the tests.
+    """
+    errors: list[str] = []
+    try:
+        layout.placement.check_complete()
+    except PlacementError as exc:
+        errors.append(str(exc))
+    pos = layout.placement.pos
+    recount: dict[Edge, int] = {}
+    for idx, tree in layout.routes.items():
+        net = layout.packed.nets.get(idx)
+        if net is None:
+            errors.append(f"route for retired net index {idx}")
+            continue
+        if pos.get(net.driver) not in tree.cells:
+            errors.append(f"net {net.name}: driver off its route tree")
+        for sink in net.sinks:
+            if pos.get(sink) not in tree.cells:
+                errors.append(f"net {net.name}: sink {sink} disconnected")
+            if sink not in tree.sink_hops:
+                errors.append(f"net {net.name}: sink {sink} missing hops")
+        for a, b in tree.edges:
+            if abs(a[0] - b[0]) + abs(a[1] - b[1]) != 1:
+                errors.append(f"net {net.name}: non-adjacent edge {a}-{b}")
+            if a not in tree.cells or b not in tree.cells:
+                errors.append(f"net {net.name}: edge {a}-{b} off tree cells")
+            key = (a, b) if a <= b else (b, a)
+            recount[key] = recount.get(key, 0) + 1
+    if recount != layout.state.usage:
+        errors.append("channel-usage bookkeeping diverged from routes")
+    if check_capacity:
+        cap = layout.device.channel_width
+        over = [e for e, u in recount.items() if u > cap]
+        if over:
+            errors.append(f"{len(over)} channel segments over capacity")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# region-configuration snapshot/replay (TileConfigCache backend)
+# ----------------------------------------------------------------------
+
+def capture_region_config(
+    layout: Layout,
+    movable_blocks: set[int],
+    io_blocks: set[int],
+    net_indices: list[int],
+) -> tuple[dict, dict, dict, dict]:
+    """Snapshot the physical outcome of a region commit for reuse.
+
+    Returns ``(sites, io_slots, routes, over_allow)`` keyed by block/net
+    *names* so the snapshot resolves against an identically built
+    sibling design.  ``over_allow`` records the capture-time occupancy
+    of any over-capacity edge the routes touch — region re-routes run
+    non-strict, so a replay is allowed to reproduce exactly the overuse
+    the fresh path produced, and no more.
+    """
+    packed = layout.packed
+    sites = {
+        packed.blocks[b].name: layout.placement.site_of(b)
+        for b in movable_blocks
+    }
+    io_slots = {
+        packed.blocks[b].name: layout.placement.site_of(b)
+        for b in io_blocks
+    }
+    routes: dict[str, tuple] = {}
+    over_allow: dict[int, int] = {}
+    state = layout.state
+    usage = state._usage
+    cap = layout.device.channel_width
+    for idx in net_indices:
+        tree = layout.routes.get(idx)
+        if tree is None:
+            continue
+        net = packed.nets[idx]
+        hops = tuple(
+            sorted(
+                (packed.blocks[b].name, h)
+                for b, h in tree.sink_hops.items()
+            )
+        )
+        eids = tuple(state._edge_ids(tree))
+        routes[net.name] = (
+            frozenset(tree.cells), frozenset(tree.edges), hops, eids,
+        )
+        for eid in eids:
+            u = usage[eid]
+            if u > cap:
+                over_allow[eid] = u
+    return sites, io_slots, routes, over_allow
+
+
+def apply_region_config(
+    layout: Layout,
+    movable_blocks: set[int],
+    io_blocks: set[int],
+    net_indices: list[int],
+    regions: list[Rect],
+    sites: dict[str, tuple[int, int]],
+    io_slots: dict[str, tuple[int, int]],
+    routes: dict[str, tuple],
+    over_allow: dict[int, int] | None = None,
+) -> bool:
+    """Verify, then install, a previously captured region configuration.
+
+    Every check runs *before* any mutation, so a False return leaves the
+    layout untouched and the caller falls back to a fresh re-place-and-
+    route.  Checks: block/net name correspondence, site legality inside
+    the regions, IOB slot capacity, terminal membership on the cached
+    trees, and channel capacity after swapping the affected routes.
+    """
+    packed, device = layout.packed, layout.device
+    placement = layout.placement
+    state = layout.state
+
+    # --- movable CLB sites -------------------------------------------
+    name_of = {b: packed.blocks[b].name for b in movable_blocks}
+    if set(sites) != set(name_of.values()):
+        return False
+    target_site: dict[int, tuple[int, int]] = {}
+    seen_sites: set[tuple[int, int]] = set()
+    for b in movable_blocks:
+        site = sites[name_of[b]]
+        if not device.is_clb_site(*site):
+            return False
+        if not any(r.contains(*site) for r in regions):
+            return False
+        if site in seen_sites:
+            return False
+        seen_sites.add(site)
+        occupant = placement.clb_at.get(site)
+        if occupant is not None and occupant not in movable_blocks:
+            return False
+        target_site[b] = site
+
+    # --- freshly placed IOBs -----------------------------------------
+    io_name_of = {b: packed.blocks[b].name for b in io_blocks}
+    if set(io_slots) != set(io_name_of.values()):
+        return False
+    io_target: dict[int, tuple[int, int]] = {}
+    slot_fill: dict[tuple[int, int], int] = {}
+    for b in io_blocks:
+        slot = io_slots[io_name_of[b]]
+        if not device.is_io_slot(*slot):
+            return False
+        if placement.is_placed(b):
+            if placement.site_of(b) != slot:
+                return False
+            continue
+        pads = placement.io_at.get(slot, [])
+        extra = slot_fill.get(slot, 0)
+        if len(pads) + extra >= device.io_per_slot:
+            return False
+        slot_fill[slot] = extra + 1
+        io_target[b] = slot
+
+    # --- nets: correspondence, terminals, capacity -------------------
+    affected = sorted(set(net_indices))
+    net_name_of: dict[int, str] = {}
+    for idx in affected:
+        net = packed.nets.get(idx)
+        if net is None:
+            return False
+        net_name_of[idx] = net.name
+    if set(routes) != set(net_name_of.values()):
+        return False
+
+    def site_of_terminal(b: int) -> tuple[int, int] | None:
+        if b in target_site:
+            return target_site[b]
+        if b in io_target:
+            return io_target[b]
+        if placement.is_placed(b):
+            return placement.site_of(b)
+        return None
+
+    sink_index_of: dict[int, dict[str, int]] = {}
+    for idx in affected:
+        net = packed.nets[idx]
+        cells, edges, hops, eids = routes[net_name_of[idx]]
+        if len(eids) != len(edges):
+            return False
+        for b in (net.driver, *net.sinks):
+            site = site_of_terminal(b)
+            if site is None or site not in cells:
+                return False
+        by_name = {packed.blocks[s].name: s for s in net.sinks}
+        sink_index_of[idx] = by_name
+        for sink_name, _ in hops:
+            if sink_name not in by_name:
+                return False
+
+    removed: dict[int, int] = {}
+    for idx in affected:
+        tree = layout.routes.get(idx)
+        if tree is not None:
+            for eid in state._edge_ids(tree):
+                removed[eid] = removed.get(eid, 0) + 1
+    added: dict[int, int] = {}
+    for cells, edges, hops, eids in routes.values():
+        for eid in eids:
+            added[eid] = added.get(eid, 0) + 1
+    cap = device.channel_width
+    usage = state._usage
+    allow = over_allow or {}
+    for eid, k in added.items():
+        if usage[eid] - removed.get(eid, 0) + k > max(cap, allow.get(eid, 0)):
+            return False
+
+    # --- all checks passed: install ----------------------------------
+    for b in movable_blocks:
+        placement.remove(b)
+    for idx in affected:
+        old = layout.routes.pop(idx, None)
+        if old is not None:
+            state.remove(old)
+    for b, site in target_site.items():
+        placement.place_clb(b, site)
+    for b, slot in io_target.items():
+        placement.place_io(b, slot)
+    for idx in affected:
+        cells, edges, hops, eids = routes[net_name_of[idx]]
+        by_name = sink_index_of[idx]
+        tree = RouteTree(
+            idx,
+            cells,
+            edges,
+            {by_name[name]: h for name, h in hops},
+            eids,
+        )
+        layout.routes[idx] = tree
+        state.add(tree)
+    return True
 
 
 # ----------------------------------------------------------------------

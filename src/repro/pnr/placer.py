@@ -26,7 +26,7 @@ from repro.errors import PlacementError
 from repro.pnr.effort import EffortMeter, EffortPreset, EFFORT_PRESETS
 from repro.pnr.placement import PlaceConstraints, Placement
 from repro.rng import make_rng
-from repro.synth.pack import BlockKind, PackedDesign
+from repro.synth.pack import PackedDesign
 
 #: VPR crossing-count correction for multi-terminal net HPWL.
 _CROSSING = [
@@ -161,6 +161,103 @@ def _check_unmovable_placed(
 # annealing
 # ----------------------------------------------------------------------
 
+class _NetModel:
+    """Net structures + incrementally maintained bounding-box costs.
+
+    The classic VPR speedup: each active net caches its terminal
+    bounding box as ``(xmin, n_xmin, xmax, n_xmax, ymin, n_ymin,
+    ymax, n_ymax)`` — extremes plus the number of terminals sitting on
+    each extreme — so a proposed move updates the box in O(1) and only
+    falls back to a full terminal scan when a sole extreme terminal
+    moves away.  Costs are byte-identical with the full recompute
+    (integer span times the same crossing factor).
+    """
+
+    def __init__(self, packed: PackedDesign, movable: set[int]) -> None:
+        self.nets_of_block: dict[int, list[int]] = {b: [] for b in movable}
+        self.net_sets_of_block: dict[int, set[int]] = {b: set() for b in movable}
+        self.active_nets: list[int] = []
+        self.terminals: dict[int, list[int]] = {}
+        self.q: dict[int, float] = {}
+        for net in packed.nets.values():
+            blocks = [net.driver, *net.sinks]
+            if not any(b in movable for b in blocks):
+                continue
+            self.active_nets.append(net.index)
+            self.terminals[net.index] = blocks
+            self.q[net.index] = q_factor(len(blocks))
+            for b in blocks:
+                if b in movable:
+                    self.nets_of_block[b].append(net.index)
+                    self.net_sets_of_block[b].add(net.index)
+        self.bbox: dict[int, tuple] = {}
+        self.cost: dict[int, float] = {}
+
+    def rebuild(self, pos: dict[int, tuple[int, int]]) -> None:
+        for n in self.active_nets:
+            entry = self.scan(n, pos)
+            self.bbox[n] = entry
+            self.cost[n] = self.cost_of(n, entry)
+
+    def scan(self, net_idx: int, pos) -> tuple:
+        xs = [pos[b][0] for b in self.terminals[net_idx]]
+        ys = [pos[b][1] for b in self.terminals[net_idx]]
+        xmin, xmax = min(xs), max(xs)
+        ymin, ymax = min(ys), max(ys)
+        return (
+            xmin, xs.count(xmin), xmax, xs.count(xmax),
+            ymin, ys.count(ymin), ymax, ys.count(ymax),
+        )
+
+    def cost_of(self, net_idx: int, entry: tuple) -> float:
+        span = (entry[2] - entry[0]) + (entry[6] - entry[4])
+        return span * self.q[net_idx]
+
+    def total(self) -> float:
+        return sum(self.cost.values())
+
+
+def _bbox_shift(entry: tuple, old: tuple[int, int], new: tuple[int, int]):
+    """Bounding box after moving one terminal ``old`` → ``new``.
+
+    Returns None when a drained extreme forces a terminal rescan.
+    """
+    xmin, nxmin, xmax, nxmax, ymin, nymin, ymax, nymax = entry
+    ox, oy = old
+    nx, ny = new
+    if ox != nx:
+        if ox == xmin:
+            nxmin -= 1
+        if ox == xmax:
+            nxmax -= 1
+        if nxmin == 0 or nxmax == 0:
+            return None
+        if nx < xmin:
+            xmin, nxmin = nx, 1
+        elif nx == xmin:
+            nxmin += 1
+        if nx > xmax:
+            xmax, nxmax = nx, 1
+        elif nx == xmax:
+            nxmax += 1
+    if oy != ny:
+        if oy == ymin:
+            nymin -= 1
+        if oy == ymax:
+            nymax -= 1
+        if nymin == 0 or nymax == 0:
+            return None
+        if ny < ymin:
+            ymin, nymin = ny, 1
+        elif ny == ymin:
+            nymin += 1
+        if ny > ymax:
+            ymax, nymax = ny, 1
+        elif ny == ymax:
+            nymax += 1
+    return (xmin, nxmin, xmax, nxmax, ymin, nymin, ymax, nymax)
+
+
 def _anneal(
     packed: PackedDesign,
     device: Device,
@@ -171,40 +268,17 @@ def _anneal(
     preset: EffortPreset,
     meter: EffortMeter,
 ) -> None:
-    nets_of_block: dict[int, list[int]] = {b: [] for b in movable}
-    active_nets: list[int] = []
-    terminals: dict[int, list[int]] = {}
-    for net in packed.nets.values():
-        blocks = [net.driver, *net.sinks]
-        if not any(b in movable for b in blocks):
-            continue
-        active_nets.append(net.index)
-        terminals[net.index] = blocks
-        for b in blocks:
-            if b in movable:
-                nets_of_block[b].append(net.index)
-
-    if not active_nets:
+    model = _NetModel(packed, movable)
+    if not model.active_nets:
         return
-
-    pos = placement.pos
-
-    def net_cost(net_idx: int) -> float:
-        pts = [pos[b] for b in terminals[net_idx]]
-        xs = [p[0] for p in pts]
-        ys = [p[1] for p in pts]
-        span = (max(xs) - min(xs)) + (max(ys) - min(ys))
-        return span * q_factor(len(pts))
-
-    cost_cache = {n: net_cost(n) for n in active_nets}
-    total = sum(cost_cache.values())
+    model.rebuild(placement.pos)
 
     movable_list = sorted(movable)
     temperature = _initial_temperature(
-        placement, constraints, device, movable_list, nets_of_block, net_cost,
-        cost_cache, rng, meter,
+        placement, constraints, device, movable_list, movable, model, rng,
+        meter,
     )
-    total = sum(cost_cache.values())  # sampling restored state; recompute
+    total = model.total()
 
     rlim = float(max(device.nx, device.ny))
     moves_per_temp = max(4, int(preset.inner_num * len(movable_list) ** (4 / 3)))
@@ -218,7 +292,7 @@ def _anneal(
             meter.place_moves += 1
             delta = _try_move(
                 placement, device, constraints, movable, movable_list,
-                nets_of_block, net_cost, cost_cache, rng, temperature, rlim,
+                model, rng, temperature, rlim,
             )
             if delta is not None:
                 total += delta
@@ -229,7 +303,9 @@ def _anneal(
             float(max(device.nx, device.ny)),
             max(1.0, rlim * (1.0 - 0.44 + rate)),
         )
-        if temperature < preset.exit_ratio * max(total, 1.0) / len(active_nets):
+        if temperature < preset.exit_ratio * max(total, 1.0) / len(
+            model.active_nets
+        ):
             break
 
     # zero-temperature quench: greedy pass accepting only improvements
@@ -237,28 +313,42 @@ def _anneal(
         meter.place_moves += 1
         delta = _try_move(
             placement, device, constraints, movable, movable_list,
-            nets_of_block, net_cost, cost_cache, rng, 0.0, max(1.0, rlim),
+            model, rng, 0.0, max(1.0, rlim),
         )
         if delta is not None:
             total += delta
 
 
 def _initial_temperature(
-    placement, constraints, device, movable_list, nets_of_block, net_cost,
-    cost_cache, rng, meter,
+    placement, constraints, device, movable_list, movable, model, rng, meter,
 ) -> float:
-    """VPR rule: T0 = 20 x stddev of cost over a random-move sample."""
+    """VPR rule: T0 = 20 x stddev of cost over a random-move sample.
+
+    Sampling runs real moves at infinite temperature, so every proposal
+    is accepted and the placement drifts.  The pre-sample placement is
+    restored afterwards and the cost caches rebuilt — annealing must
+    start from the caller's placement, not a random walk off it.
+    """
+    saved = {b: placement.pos[b] for b in movable_list}
     deltas = []
     samples = min(60, 5 * len(movable_list))
     for _ in range(samples):
         meter.place_moves += 1
         delta = _try_move(
-            placement, device, constraints, set(movable_list), movable_list,
-            nets_of_block, net_cost, cost_cache, rng,
-            temperature=float("inf"), rlim=float(max(device.nx, device.ny)),
+            placement, device, constraints, movable, movable_list,
+            model, rng, temperature=float("inf"),
+            rlim=float(max(device.nx, device.ny)),
         )
         if delta is not None:
             deltas.append(delta)
+
+    # undo the sampling walk: put every movable block back
+    for b in movable_list:
+        placement.remove(b)
+    for b, site in saved.items():
+        placement.place_clb(b, site)
+    model.rebuild(placement.pos)
+
     if len(deltas) < 2:
         return 1.0
     mean = sum(deltas) / len(deltas)
@@ -282,22 +372,21 @@ def _try_move(
     constraints: PlaceConstraints,
     movable: set[int],
     movable_list: list[int],
-    nets_of_block: dict[int, list[int]],
-    net_cost,
-    cost_cache: dict[int, float],
+    model: _NetModel,
     rng,
     temperature: float,
     rlim: float,
 ) -> float | None:
     """Propose one displace/swap; returns accepted delta or None."""
     block = movable_list[rng.randrange(len(movable_list))]
-    bx, by = placement.pos[block]
+    old_site = placement.pos[block]
+    bx, by = old_site
     region = constraints.region_of(block, device)
     span = max(1, int(rlim))
     xlo, xhi = max(region.x0, bx - span), min(region.x1, bx + span)
     ylo, yhi = max(region.y0, by - span), min(region.y1, by + span)
     site = (rng.randint(xlo, xhi), rng.randint(ylo, yhi))
-    if site == (bx, by):
+    if site == old_site:
         return None
     if constraints.free_sites is not None and site not in constraints.free_sites:
         return None
@@ -306,26 +395,43 @@ def _try_move(
     if occupant is not None:
         if occupant not in movable:
             return None
-        if not constraints.allows_site(occupant, (bx, by), device):
+        if not constraints.allows_site(occupant, old_site, device):
             return None
 
+    nets_of_block = model.nets_of_block
     affected = list(nets_of_block[block])
     if occupant is not None:
+        block_nets = model.net_sets_of_block[block]
         affected.extend(
-            n for n in nets_of_block[occupant] if n not in nets_of_block[block]
+            n for n in nets_of_block[occupant] if n not in block_nets
         )
-    old_costs = [cost_cache[n] for n in affected]
 
     if occupant is None:
         placement.move_clb(block, site)
+        moved = ((block, old_site, site),)
     else:
         placement.swap_clbs(block, occupant)
+        moved = ((block, old_site, site), (occupant, site, old_site))
 
+    # incremental bounding-box update per affected net (scan fallback)
+    pos = placement.pos
+    bbox = model.bbox
+    cost_cache = model.cost
+    net_sets = model.net_sets_of_block
     delta = 0.0
-    new_costs = []
+    new_state: list[tuple[int, tuple, float]] = []
     for n in affected:
-        c = net_cost(n)
-        new_costs.append(c)
+        entry = bbox[n]
+        for b, frm, to in moved:
+            if n not in net_sets[b]:
+                continue
+            entry = _bbox_shift(entry, frm, to)
+            if entry is None:
+                break
+        if entry is None:
+            entry = model.scan(n, pos)
+        c = model.cost_of(n, entry)
+        new_state.append((n, entry, c))
         delta += c - cost_cache[n]
 
     accept = delta <= 0 or (
@@ -334,11 +440,12 @@ def _try_move(
     )
     if not accept:
         if occupant is None:
-            placement.move_clb(block, (bx, by))
+            placement.move_clb(block, old_site)
         else:
             placement.swap_clbs(block, occupant)
         return None
 
-    for n, c in zip(affected, new_costs):
+    for n, entry, c in new_state:
+        bbox[n] = entry
         cost_cache[n] = c
     return delta

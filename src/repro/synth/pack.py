@@ -121,6 +121,7 @@ class PackedDesign:
         self.block_of_instance = block_of_instance
         self._net_index_of_name = {net.name: idx for idx, net in nets.items()}
         self._next_net_index = max(nets, default=-1) + 1
+        self._clb_by_name = {clb.name: clb for clb in clbs}
 
     @property
     def n_clbs(self) -> int:
@@ -161,6 +162,18 @@ class PackedDesign:
 
     def net_index_of(self, net_name: str) -> int | None:
         return self._net_index_of_name.get(net_name)
+
+    def clb_of_block(self, block_index: int) -> CLB:
+        """The CLB packing record behind a CLB block.
+
+        Blocks from the initial packing line up with ``clbs`` by index,
+        but ECO-added CLBs get block indices past the IOBs, so the
+        lookup goes through the block name.
+        """
+        block = self.blocks[block_index]
+        if not block.is_clb:
+            raise SynthesisError(f"block {block.name} is not a CLB")
+        return self._clb_by_name[block.name]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -396,6 +409,7 @@ def extend_packing(packed: PackedDesign, new_instance_names: set[str]) -> set[in
         members = bles[i : i + 2]
         clb = CLB(name=f"clb{len(packed.clbs)}", bles=list(members))
         packed.clbs.append(clb)
+        packed._clb_by_name[clb.name] = clb
         idx = len(packed.blocks)
         names = tuple(clb.instance_names())
         packed.blocks.append(Block(idx, clb.name, BlockKind.CLB, names))

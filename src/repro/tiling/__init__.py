@@ -10,7 +10,11 @@ interfaces and deliberate resource slack:
   placement, affected-tile identification with neighbor expansion,
   tile-confined re-place-and-route, interface re-locking;
 * :mod:`repro.tiling.eco` — change descriptors linking netlist-level
-  debugging changes to physical tiles (back-annotation, paper §5.1).
+  debugging changes to physical tiles (back-annotation, paper §5.1);
+* :mod:`repro.tiling.cache` — precomputed tile configurations keyed by
+  logic content and locked interface signature, so repeated
+  reconfigurations skip place-and-route entirely (the paper's
+  spare-configuration mechanism).
 """
 
 from repro.tiling.tile import Tile, TileStats
@@ -20,6 +24,7 @@ from repro.tiling.partition import (
     plan_tile_grid,
     refine_boundaries,
 )
+from repro.tiling.cache import DEFAULT_TILE_CACHE, TileConfig, TileConfigCache
 from repro.tiling.manager import TiledLayout
 from repro.tiling.eco import ChangeSet
 
@@ -30,6 +35,9 @@ __all__ = [
     "assign_blocks_to_tiles",
     "plan_tile_grid",
     "refine_boundaries",
+    "DEFAULT_TILE_CACHE",
+    "TileConfig",
+    "TileConfigCache",
     "TiledLayout",
     "ChangeSet",
 ]

@@ -1,0 +1,262 @@
+"""Precomputed tile configurations — the paper's spare-config trick.
+
+The source paper's central performance claim is that debugging changes
+should *reconfigure* precomputed tile configurations instead of
+re-running place-and-route.  :class:`TileConfigCache` is the mechanized
+form: every tile-confined commit is keyed by a digest of everything that
+determines its physical outcome, and the resulting configuration
+(movable-block sites plus the full routes of every rerouted net) is kept
+so an identical reconfiguration — the probe insert/remove cycles of a
+localization campaign, or a repeat of the same campaign — replays the
+stored configuration instead of annealing and maze-routing again.
+
+Key contents (a stale entry can never match, let alone apply):
+
+* design name, device geometry and channel width;
+* effort preset and commit seed (the fresh path is deterministic in
+  them, so a hit reproduces exactly what the fresh path would build);
+* the affected tile rectangles;
+* the logic content of every movable block
+  (:func:`repro.emu.bitstream.block_logic_config` — the same bytes the
+  bitstream frames hash);
+* per rerouted net: its name, the sites of its locked terminals, the
+  names of its still-unplaced terminals, and the locked route fragments
+  outside the affected region (the paper's tile *interface*).
+
+Invalidation is structural, not temporal: entries are immortal until
+evicted (bounded LRU) because a lookup can only hit when the current
+netlist, placement and locked routes present byte-identical context.
+On top of that, :func:`repro.pnr.flow.apply_region_config` re-verifies
+site legality, terminal membership and channel capacity before touching
+the layout, and the tiling manager skips the cache outright when a
+:class:`~repro.tiling.eco.ChangeSet` reports a ``base_revision`` that
+does not line up with the last committed netlist revision (untracked
+mutations).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TileConfig:
+    """One reusable tile configuration (the cached value).
+
+    Everything is stored by *name* (block names, net names) so a hit
+    from an identically-built sibling design — e.g. the same campaign
+    re-run under another simulation engine — resolves cleanly even
+    though its block/net index spaces are distinct objects.
+    """
+
+    #: movable CLB block name → grid site
+    sites: dict[str, tuple[int, int]]
+    #: freshly placed IOB block name → ring slot
+    io_slots: dict[str, tuple[int, int]]
+    #: net name → (cells, edges, ((sink block name, hops), ...),
+    #: precomputed fabric edge ids)
+    routes: dict[str, tuple[frozenset, frozenset, tuple, tuple]]
+    #: capture-time occupancy of over-capacity edges (replay may match
+    #: the fresh path's non-strict overuse, but never exceed it)
+    over_allow: dict = field(default_factory=dict)
+
+
+@dataclass
+class TileConfigCache:
+    """Bounded LRU of :class:`TileConfig` entries with hit accounting."""
+
+    max_entries: int = 512
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    rejected: int = 0
+    _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
+
+    def lookup(self, key: str) -> TileConfig | None:
+        config = self._entries.get(key)
+        if config is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return config
+
+    def store(self, key: str, config: TileConfig) -> None:
+        self._entries[key] = config
+        self._entries.move_to_end(key)
+        self.stores += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def note_rejected(self) -> None:
+        """A hit failed apply-time verification (counts as a miss)."""
+        self.rejected += 1
+        self.hits -= 1
+        self.misses += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = self.misses = self.stores = self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "entries": float(len(self._entries)),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "stores": float(self.stores),
+            "rejected": float(self.rejected),
+            "hit_rate": self.hit_rate,
+        }
+
+
+#: Process-wide default used by :class:`~repro.tiling.manager.TiledLayout`
+#: unless a caller supplies its own (or ``tile_cache=None`` to disable).
+DEFAULT_TILE_CACHE = TileConfigCache()
+
+
+# ----------------------------------------------------------------------
+# whole-design precomputed configurations
+# ----------------------------------------------------------------------
+
+def pnr_key_header(packed, device, preset, seed) -> str:
+    """Shared digest header: everything a deterministic P&R run of this
+    design on this device under this effort/seed is parameterized by."""
+    return (
+        f"{packed.netlist.name}|{device.name}|{device.nx}x{device.ny}"
+        f"|cw{device.channel_width}|io{device.io_per_slot}"
+        f"|{preset.name}|i{preset.inner_num}|r{preset.router_iterations}"
+        f"|e{preset.exit_ratio}|s{seed}"
+    )
+
+
+def full_pnr_key(packed, device, seed, preset, constraints=None,
+                 context: str = "", strict_routing: bool = False) -> str:
+    """Digest of everything a from-scratch place-and-route depends on.
+
+    Covers the full design: every block's logic configuration, every
+    block net's terminals, the device, the effort preset, the placement
+    seed, and any region/lock constraints.  Identical digests mean the
+    deterministic P&R would recompute the identical layout.
+    """
+    from repro.emu.bitstream import block_logic_config
+
+    h = hashlib.sha256()
+    h.update(
+        f"full-pnr|{context}|{pnr_key_header(packed, device, preset, seed)}"
+        f"|strict{int(strict_routing)}\n".encode()
+    )
+    for block in packed.blocks:
+        h.update(block.name.encode())
+        h.update(b"=")
+        h.update(block_logic_config(packed, block.index))
+        h.update(b"\n")
+    for idx in sorted(packed.nets):
+        net = packed.nets[idx]
+        h.update(
+            f"{net.name}|{packed.blocks[net.driver].name}|".encode()
+        )
+        h.update(
+            ";".join(packed.blocks[s].name for s in net.sinks).encode()
+        )
+        h.update(b"\n")
+    if constraints is not None:
+        regions = sorted(
+            (packed.blocks[b].name, (r.x0, r.y0, r.x1, r.y1))
+            for b, r in constraints.regions.items()
+        )
+        h.update(repr(regions).encode())
+        locked = sorted(packed.blocks[b].name for b in constraints.locked)
+        h.update(repr(locked).encode())
+        if constraints.free_sites is not None:
+            h.update(repr(sorted(constraints.free_sites)).encode())
+    return h.hexdigest()
+
+
+def cached_full_place_and_route(
+    packed,
+    device,
+    seed: int = 1,
+    preset=None,
+    meter=None,
+    constraints=None,
+    strict_routing: bool = True,
+    cache: TileConfigCache | None = DEFAULT_TILE_CACHE,
+    context: str = "",
+):
+    """:func:`repro.pnr.flow.full_place_and_route` behind the config cache.
+
+    The initial implementation and the slack-aware tiled re-implementation
+    are deterministic in their inputs, so a repeat of the same
+    precomputation (e.g. the same campaign re-run under another
+    simulation engine) replays the stored whole-design configuration —
+    placement and routes — instead of annealing and maze-routing again.
+    A replay is verified exactly like a tile reconfiguration
+    (:func:`repro.pnr.flow.apply_region_config` onto an empty layout)
+    and falls back to the fresh path on any mismatch.
+    """
+    from repro.pnr.effort import EFFORT_PRESETS, EffortMeter
+    from repro.pnr.flow import (
+        Layout,
+        apply_region_config,
+        capture_region_config,
+        full_place_and_route,
+    )
+    from repro.pnr.placement import Placement
+    from repro.pnr.router import RoutingState
+
+    preset = preset or EFFORT_PRESETS["normal"]
+    meter = meter if meter is not None else EffortMeter()
+
+    key = None
+    if cache is not None:
+        key = full_pnr_key(
+            packed, device, seed, preset, constraints=constraints,
+            context=context, strict_routing=strict_routing,
+        )
+        config = cache.lookup(key)
+        if config is not None:
+            clbs = {b.index for b in packed.clb_blocks()}
+            iobs = {b.index for b in packed.io_blocks()}
+            ids = sorted(packed.nets)
+            layout = Layout(
+                packed, device, Placement(device, packed), {},
+                RoutingState(device),
+            )
+            meter.begin_invocation()
+            ok = apply_region_config(
+                layout, clbs, iobs, ids, [device.clb_region],
+                config.sites, config.io_slots, config.routes,
+                config.over_allow,
+            )
+            if ok:
+                try:
+                    layout.placement.check_complete()
+                except Exception:
+                    ok = False
+            meter.end_invocation()
+            if ok:
+                return layout
+            cache.note_rejected()
+
+    layout = full_place_and_route(
+        packed, device, seed=seed, preset=preset, meter=meter,
+        constraints=constraints, strict_routing=strict_routing,
+    )
+    if cache is not None and key is not None:
+        clbs = {b.index for b in packed.clb_blocks()}
+        iobs = {b.index for b in packed.io_blocks()}
+        sites, io_slots, routes, over_allow = capture_region_config(
+            layout, clbs, iobs, sorted(packed.nets)
+        )
+        cache.store(key, TileConfig(sites, io_slots, routes, over_allow))
+    return layout

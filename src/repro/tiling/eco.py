@@ -64,6 +64,23 @@ class ChangeSet:
             self.changed_instances or self.new_instances or self.removed_instances
         )
 
+    def stale_for(self, revision: int | None) -> bool:
+        """True when this delta demonstrably does not start at ``revision``.
+
+        Consumers that replay precomputed results (the compiled kernel,
+        the tile-configuration cache) use this to detect netlist
+        mutations that happened outside any recorded changeset: if the
+        delta's ``base_revision`` does not line up with the revision
+        they last synchronized to, they must fall back to their
+        from-scratch path.  Unknown revisions (``None`` on either side)
+        cannot prove staleness and return False.
+        """
+        return (
+            self.base_revision is not None
+            and revision is not None
+            and self.base_revision != revision
+        )
+
     def touched_existing(self) -> set[str]:
         """Existing instances whose tiles are affected."""
         return self.changed_instances | self.removed_instances
@@ -111,9 +128,10 @@ class ChangeRecorder:
     def _snapshot(self) -> dict[str, tuple]:
         snap = {}
         for inst in self.netlist.instances():
+            params = inst.params
             snap[inst.name] = (
                 inst.kind,
-                tuple(n.name for n in inst.inputs),
-                tuple(sorted(inst.params.items())),
+                tuple([n.name for n in inst.inputs]),
+                tuple(sorted(params.items())) if params else (),
             )
         return snap

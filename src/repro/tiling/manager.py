@@ -19,19 +19,33 @@ byte-identical across a change — is checked by
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.arch.device import Device
+from repro.emu.bitstream import block_logic_config
 from repro.errors import TilingError
 from repro.geometry import Rect
 from repro.pnr.effort import EffortMeter, EffortPreset, EFFORT_PRESETS
-from repro.pnr.flow import Layout, full_place_and_route, replace_region
+from repro.pnr.flow import (
+    Layout,
+    apply_region_config,
+    capture_region_config,
+    replace_region,
+)
 from repro.pnr.placement import PlaceConstraints
 from repro.synth.pack import (
     PackedDesign,
     extend_packing,
     refresh_block_nets,
+)
+from repro.tiling.cache import (
+    DEFAULT_TILE_CACHE,
+    TileConfig,
+    TileConfigCache,
+    cached_full_place_and_route,
+    pnr_key_header,
 )
 from repro.tiling.eco import ChangeSet
 from repro.tiling.partition import (
@@ -53,6 +67,7 @@ class CommitReport:
     new_blocks: set[int]
     effort: EffortMeter
     expanded: bool  # neighbor tiles were pulled in for extra slack
+    cache_hit: bool = False  # served by a precomputed tile configuration
 
     @property
     def n_affected(self) -> int:
@@ -67,15 +82,24 @@ class TiledLayout:
         layout: Layout,
         tiles: list[Tile],
         options: TilingOptions,
+        tile_cache: TileConfigCache | None = DEFAULT_TILE_CACHE,
     ) -> None:
         self.layout = layout
         self.tiles = tiles
         self.options = options
+        self.tile_cache = tile_cache
         self.tile_of_block: dict[int, int] = {}
         for tile in tiles:
             for b in tile.blocks:
                 self.tile_of_block[b] = tile.index
         self._neighbor_cache: dict[int, list[int]] | None = None
+        #: netlist revision at the end of the last commit — lets the
+        #: ChangeSet.base_revision guard spot untracked mutations
+        self._synced_revision: int | None = getattr(
+            layout.packed.netlist, "revision", None
+        )
+        #: per-block logic signatures, invalidated by each changeset
+        self._block_sig: dict[int, bytes] = {}
 
     # ------------------------------------------------------------------
     # construction (paper steps 4-8)
@@ -91,6 +115,7 @@ class TiledLayout:
         preset: EffortPreset | None = None,
         meter: EffortMeter | None = None,
         initial_layout: Layout | None = None,
+        tile_cache: TileConfigCache | None = DEFAULT_TILE_CACHE,
     ) -> "TiledLayout":
         """Tile a design: plan boundaries, re-place with slack, lock.
 
@@ -103,9 +128,9 @@ class TiledLayout:
         meter = meter if meter is not None else EffortMeter()
 
         if initial_layout is None:
-            initial_layout = full_place_and_route(
+            initial_layout = cached_full_place_and_route(
                 packed, device, seed=seed, preset=preset, meter=meter,
-                strict_routing=False,
+                strict_routing=False, cache=tile_cache, context="initial",
             )
 
         rects = plan_tile_grid(packed.n_clbs, device, options)
@@ -115,17 +140,21 @@ class TiledLayout:
         if options.refine_passes:
             refine_boundaries(packed, tiles, passes=options.refine_passes)
 
-        # step 5: re-place-and-route with resource slack (tile regions)
+        # step 5: re-place-and-route with resource slack (tile regions);
+        # the constraint set pins every block to its tile, so the
+        # whole-design configuration cache key captures the tiling and a
+        # repeat of the same precomputation replays it
         regions = {}
         for tile in tiles:
             for b in tile.blocks:
                 regions[b] = tile.rect
         constraints = PlaceConstraints(regions=regions)
-        layout = full_place_and_route(
+        layout = cached_full_place_and_route(
             packed, device, seed=seed, preset=preset, meter=meter,
             constraints=constraints, strict_routing=False,
+            cache=tile_cache, context="tiling",
         )
-        return cls(layout, tiles, options)
+        return cls(layout, tiles, options, tile_cache=tile_cache)
 
     # ------------------------------------------------------------------
     # queries
@@ -249,6 +278,13 @@ class TiledLayout:
         5. reroute confined nets inside the tiles and reconnect
            interface nets at their locked boundary crossings;
         6. re-establish tile membership and re-lock.
+
+        Before running step 4-5 from scratch, the commit is looked up in
+        the tile-configuration cache: when an identical reconfiguration
+        (same tile logic content, same locked interface signature, same
+        seed/preset) was committed before, its precomputed configuration
+        is verified and replayed — the paper's spare-configuration
+        mechanism — and the P&R is skipped entirely.
         """
         preset = preset or EFFORT_PRESETS["normal"]
         meter = EffortMeter()
@@ -297,16 +333,60 @@ class TiledLayout:
             (new_ids | changed_ids)
             - {n for n in removed_ids}
         )
-        replace_region(
-            self.layout,
-            movable,
-            regions,
-            seed=seed,
-            preset=preset,
-            meter=meter,
-            confine_routing=True,
-            extra_nets=extra,
+
+        # --- precomputed-configuration fast path -------------------------
+        new_iobs = {b for b in new_blocks if not packed.blocks[b].is_clb}
+        affected_ids = sorted(
+            {net.index for net in packed.nets_touching_blocks(movable)}
+            | set(extra)
         )
+        cache = self.tile_cache
+        use_cache = cache is not None and not changes.stale_for(
+            self._synced_revision
+        )
+        if use_cache:
+            for b in changed_blocks | new_blocks:
+                self._block_sig.pop(b, None)
+        else:
+            self._block_sig.clear()
+        key = None
+        cache_hit = False
+        if use_cache:
+            key = self._commit_key(
+                movable, regions, affected_ids, seed, preset
+            )
+            config = cache.lookup(key)
+            if config is not None:
+                meter.begin_invocation()
+                cache_hit = apply_region_config(
+                    self.layout, movable, new_iobs, affected_ids, regions,
+                    config.sites, config.io_slots, config.routes,
+                    config.over_allow,
+                )
+                meter.end_invocation()
+                if not cache_hit:
+                    cache.note_rejected()
+
+        if not cache_hit:
+            replace_region(
+                self.layout,
+                movable,
+                regions,
+                seed=seed,
+                preset=preset,
+                meter=meter,
+                confine_routing=True,
+                extra_nets=extra,
+            )
+            if use_cache and key is not None:
+                sites, io_slots, routes, over_allow = capture_region_config(
+                    self.layout, movable, new_iobs, affected_ids
+                )
+                cache.store(
+                    key, TileConfig(sites, io_slots, routes, over_allow)
+                )
+
+        self._synced_revision = getattr(packed.netlist, "revision", None)
 
         self._rebuild_membership(affected, movable)
         return CommitReport(
@@ -315,7 +395,93 @@ class TiledLayout:
             new_blocks=new_blocks,
             effort=meter,
             expanded=expanded,
+            cache_hit=cache_hit,
         )
+
+    def _commit_key(
+        self,
+        movable: set[int],
+        regions: list[Rect],
+        affected_ids: list[int],
+        seed: int,
+        preset: EffortPreset,
+    ) -> str:
+        """Digest of everything the commit's *result* is keyed on.
+
+        Covers design/device/effort/seed, the tile rectangles, the
+        byte-identical logic content of every movable block, and the
+        locked interface of every net that will be rerouted (terminal
+        sites and outside route fragments).  Deliberately *not* covered:
+        transient congestion context — channel usage and negotiation
+        history of unaffected nets.  A hit therefore replays a
+        previously computed *legal* configuration for this content and
+        interface (the paper's precomputed spare configuration), not
+        necessarily the byte-identical result a fresh P&R would produce
+        under the current congestion; apply-time verification enforces
+        terminal and capacity legality before anything is touched.
+        """
+        packed = self.packed
+        device = self.device
+        placement = self.layout.placement
+        h = hashlib.sha256()
+        h.update(
+            f"commit|{pnr_key_header(packed, device, preset, seed)}\n".encode()
+        )
+        rects = sorted((r.x0, r.y0, r.x1, r.y1) for r in regions)
+        h.update(repr(rects).encode())
+        block_sig = self._block_sig
+        for b in sorted(movable):
+            sig = block_sig.get(b)
+            if sig is None:
+                sig = block_logic_config(packed, b)
+                block_sig[b] = sig
+            h.update(packed.blocks[b].name.encode())
+            h.update(b"=")
+            h.update(sig)
+            h.update(b"\n")
+
+        pos = placement.pos
+
+        def terminal_sig(b: int) -> str:
+            if b in movable:
+                return f"M:{packed.blocks[b].name}"
+            site = pos.get(b)
+            if site is None:
+                return f"N:{packed.blocks[b].name}"
+            return f"L:{site}"
+
+        # region-inclusion mask over fabric cell ids (cheap edge tests)
+        fab = self.layout.state.fabric
+        hs = fab.h
+        combined = bytearray(fab.n_cells)
+        for r in regions:
+            for i, v in enumerate(fab.region_mask(r)):
+                if v:
+                    combined[i] = 1
+
+        routes = self.layout.routes
+        for idx in affected_ids:
+            net = packed.nets[idx]
+            h.update(
+                f"{net.name}|{terminal_sig(net.driver)}|".encode()
+            )
+            h.update(
+                ";".join(terminal_sig(s) for s in net.sinks).encode()
+            )
+            tree = routes.get(idx)
+            if tree is not None:
+                outside = [
+                    (a, b)
+                    for a, b in tree.edges
+                    if not (
+                        combined[(a[0] + 1) * hs + a[1] + 1]
+                        and combined[(b[0] + 1) * hs + b[1] + 1]
+                    )
+                ]
+                outside.sort()
+                h.update(repr(outside).encode())
+            h.update(b"\n")
+        return h.hexdigest()
 
     def _expand_for_slack(
         self, seed_tiles: set[int], n_new_clbs: int

@@ -114,6 +114,61 @@ def test_overfull_region_raises():
         place_design(packed, device, seed=1, constraints=constraints)
 
 
+def test_initial_temperature_restores_placement():
+    """The T0 sampling walk must not leak into the starting placement."""
+    from repro.pnr import placer as placer_mod
+    from repro.rng import make_rng
+
+    packed = fresh_packed_design()
+    device = pick_device(packed.n_clbs, area_overhead=0.5,
+                         min_io=len(packed.io_blocks()))
+    placement = place_design(packed, device, seed=7,
+                             preset=EFFORT_PRESETS["fast"])
+    movable = {b.index for b in packed.clb_blocks()}
+    model = placer_mod._NetModel(packed, movable)
+    model.rebuild(placement.pos)
+    before_pos = dict(placement.pos)
+    before_clb_at = dict(placement.clb_at)
+    before_costs = dict(model.cost)
+
+    temperature = placer_mod._initial_temperature(
+        placement, PlaceConstraints(), device, sorted(movable), movable,
+        model, make_rng(7, "t0-test"), EffortMeter(),
+    )
+    assert temperature > 0
+    assert placement.pos == before_pos
+    assert placement.clb_at == before_clb_at
+    # cost caches were rebuilt against the restored placement
+    assert model.cost == before_costs
+    fresh = placer_mod._NetModel(packed, movable)
+    fresh.rebuild(placement.pos)
+    assert fresh.bbox == model.bbox
+
+
+def test_bbox_shift_matches_scan():
+    """Incremental bbox updates agree with a full terminal rescan."""
+    from repro.pnr.placer import _bbox_shift
+    from repro.rng import make_rng
+
+    rng = make_rng(11, "bbox")
+    points = [(rng.randrange(12), rng.randrange(12)) for _ in range(6)]
+
+    def scan(pts):
+        xs = [p[0] for p in pts]
+        ys = [p[1] for p in pts]
+        return (min(xs), xs.count(min(xs)), max(xs), xs.count(max(xs)),
+                min(ys), ys.count(min(ys)), max(ys), ys.count(max(ys)))
+
+    entry = scan(points)
+    for _ in range(500):
+        i = rng.randrange(len(points))
+        new = (rng.randrange(12), rng.randrange(12))
+        shifted = _bbox_shift(entry, points[i], new)
+        points[i] = new
+        entry = scan(points) if shifted is None else shifted
+        assert entry == scan(points)
+
+
 def test_placement_site_bookkeeping():
     packed = fresh_packed_design()
     device = custom_device(20, 20)

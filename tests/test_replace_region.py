@@ -1,0 +1,134 @@
+"""replace_region with confine_routing: the locked-interface invariants.
+
+The tiling manager's whole correctness story rests on three properties
+of the region-confined re-place-and-route:
+
+* routes of nets that do not touch the region are byte-identical
+  before and after;
+* boundary-crossing nets keep their outside fragments and reconnect at
+  the old interface cells;
+* the resulting layout passes a full legality check (placement
+  complete, every net connected over adjacent cells, channel usage
+  bookkeeping consistent and within capacity).
+"""
+
+import pytest
+
+from repro.arch import pick_device
+from repro.geometry import Rect
+from repro.pnr import EFFORT_PRESETS, full_place_and_route, replace_region
+from repro.pnr.placer import place_design
+from tests.conftest import fresh_packed_design
+
+
+def assert_layout_legal(layout, check_capacity: bool = True) -> None:
+    from repro.pnr.flow import layout_legality_errors
+
+    errors = layout_legality_errors(layout, check_capacity=check_capacity)
+    assert not errors, "; ".join(errors)
+
+
+def confined_context():
+    """A routed design plus a region holding some (not all) CLBs."""
+    packed = fresh_packed_design(width=10)
+    device = pick_device(
+        packed.n_clbs, area_overhead=1.0,
+        min_io=len(packed.io_blocks()), channel_width=48,
+    )
+    layout = full_place_and_route(
+        packed, device, seed=3, preset=EFFORT_PRESETS["fast"],
+    )
+    region = Rect(0, 0, device.nx - 1, device.ny // 2)
+    movable = set(layout.placement.blocks_in_region(region))
+    assert movable and len(movable) < packed.n_clbs
+    return packed, device, layout, region, movable
+
+
+def test_untouched_routes_byte_identical():
+    packed, device, layout, region, movable = confined_context()
+    untouched = {
+        net.index
+        for net in packed.nets.values()
+        if net.driver not in movable
+        and not any(s in movable for s in net.sinks)
+    }
+    before = {
+        idx: (set(layout.routes[idx].cells), set(layout.routes[idx].edges),
+              dict(layout.routes[idx].sink_hops))
+        for idx in untouched
+    }
+    replace_region(
+        layout, movable, [region], seed=5,
+        preset=EFFORT_PRESETS["fast"], confine_routing=True,
+    )
+    for idx, (cells, edges, hops) in before.items():
+        tree = layout.routes[idx]
+        assert set(tree.cells) == cells
+        assert set(tree.edges) == edges
+        assert dict(tree.sink_hops) == hops
+
+
+def test_crossing_nets_reconnect_at_old_interface():
+    packed, device, layout, region, movable = confined_context()
+
+    def inside(cell):
+        return region.contains(*cell)
+
+    affected = {
+        net.index for net in packed.nets_touching_blocks(movable)
+    }
+    old_outside = {}
+    for idx in affected:
+        tree = layout.routes.get(idx)
+        if tree is None:
+            continue
+        outside = {
+            e for e in tree.edges if not (inside(e[0]) and inside(e[1]))
+        }
+        if outside and any(inside(c) for c in tree.cells):
+            old_outside[idx] = outside
+    assert old_outside, "test design produced no boundary-crossing nets"
+
+    replace_region(
+        layout, movable, [region], seed=5,
+        preset=EFFORT_PRESETS["fast"], confine_routing=True,
+    )
+    for idx, outside in old_outside.items():
+        tree = layout.routes[idx]
+        # the outside fragment survives byte-for-byte ...
+        assert outside <= set(tree.edges), (
+            f"net {idx} lost its locked outside fragment"
+        )
+        # ... and the interface cells (outside-fragment endpoints inside
+        # the region) are part of the rebuilt tree
+        anchors = {
+            c for e in outside for c in e if inside(c)
+        }
+        assert anchors <= set(tree.cells)
+
+
+def test_full_legality_after_confined_replace():
+    packed, device, layout, region, movable = confined_context()
+    replace_region(
+        layout, movable, [region], seed=5,
+        preset=EFFORT_PRESETS["fast"], confine_routing=True,
+    )
+    for block in movable:
+        assert region.contains(*layout.placement.site_of(block))
+    assert_layout_legal(layout)
+
+
+def test_legality_with_multiple_regions():
+    packed, device, layout, _, _ = confined_context()
+    r1 = Rect(0, 0, device.nx // 2, device.ny // 2)
+    r2 = Rect(0, device.ny // 2 + 1, device.nx // 2, device.ny - 1)
+    movable = set(layout.placement.blocks_in_region(r1)) | set(
+        layout.placement.blocks_in_region(r2)
+    )
+    if not movable:
+        pytest.skip("no blocks in the chosen regions")
+    replace_region(
+        layout, movable, [r1, r2], seed=9,
+        preset=EFFORT_PRESETS["fast"], confine_routing=True,
+    )
+    assert_layout_legal(layout)

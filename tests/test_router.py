@@ -111,6 +111,20 @@ def test_grow_steiner_tree_region_violation():
         )
 
 
+def test_zero_capacity_channels_track_overuse():
+    """cap == 0: the first occupant is already over capacity."""
+    from repro.pnr.router import RouteTree
+
+    device = custom_device(4, 4, channel_width=0)
+    state = RoutingState(device)
+    tree = RouteTree(0)
+    tree.edges = {((0, 0), (0, 1))}
+    state.add(tree)
+    assert state.overused_edges() == [((0, 0), (0, 1))]
+    state.remove(tree)
+    assert not state.overused_ids and not state.usage
+
+
 def test_routing_state_add_remove_roundtrip():
     device = custom_device(4, 4)
     state = RoutingState(device)

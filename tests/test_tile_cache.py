@@ -1,0 +1,190 @@
+"""TileConfigCache: replay identity, guards, and fallback behavior."""
+
+import pytest
+
+from repro.arch import pick_device
+from repro.emu import frames_for_tiles
+from repro.netlist.cells import CellKind
+from repro.pnr import EFFORT_PRESETS
+from repro.synth import map_to_luts, pack_netlist
+from repro.tiling import TiledLayout, TilingOptions
+from repro.tiling.cache import (
+    TileConfig,
+    TileConfigCache,
+    cached_full_place_and_route,
+)
+from repro.tiling.eco import ChangeRecorder
+from tests.conftest import make_adder_netlist
+from tests.test_replace_region import assert_layout_legal
+
+
+def build_tiled(cache):
+    """Deterministic tiled layout twin-buildable for replay tests."""
+    netlist = make_adder_netlist(10, registered=True)
+    mapped = map_to_luts(netlist)
+    packed = pack_netlist(mapped)
+    device = pick_device(packed.n_clbs, area_overhead=0.6,
+                         min_io=len(packed.io_blocks()) + 8)
+    tiled = TiledLayout.create(
+        packed, device, TilingOptions(n_tiles=4, area_overhead=0.3),
+        seed=2, preset=EFFORT_PRESETS["fast"], tile_cache=cache,
+    )
+    return mapped, packed, tiled
+
+
+def flip_first_lut(mapped):
+    lut = next(
+        i for i in mapped.instances() if i.kind is CellKind.LUT and i.inputs
+    )
+    with ChangeRecorder(mapped, "flip") as rec:
+        size = 1 << len(lut.inputs)
+        lut.params = {"table": lut.params["table"] ^ (size - 1)}
+    return rec.changes
+
+
+def placement_by_name(tiled):
+    packed = tiled.packed
+    return {
+        packed.blocks[b].name: site
+        for b, site in tiled.layout.placement.pos.items()
+    }
+
+
+def routes_by_name(tiled):
+    packed = tiled.packed
+    return {
+        packed.nets[idx].name: (set(t.cells), set(t.edges))
+        for idx, t in tiled.layout.routes.items()
+    }
+
+
+def test_identical_commit_replays_from_cache():
+    cache = TileConfigCache()
+    mapped1, packed1, tiled1 = build_tiled(cache)
+    r1 = tiled1.apply_changeset(
+        flip_first_lut(mapped1), seed=4, preset=EFFORT_PRESETS["fast"]
+    )
+    assert not r1.cache_hit  # first time: computed and stored
+
+    mapped2, packed2, tiled2 = build_tiled(cache)
+    r2 = tiled2.apply_changeset(
+        flip_first_lut(mapped2), seed=4, preset=EFFORT_PRESETS["fast"]
+    )
+    assert r2.cache_hit
+    assert r2.affected_tiles == r1.affected_tiles
+    # the replayed configuration is byte-identical to the computed one
+    assert placement_by_name(tiled2) == placement_by_name(tiled1)
+    assert routes_by_name(tiled2) == routes_by_name(tiled1)
+    rects = [t.rect for t in tiled1.tiles]
+    assert frames_for_tiles(tiled1.layout, rects) == frames_for_tiles(
+        tiled2.layout, rects
+    )
+    assert_layout_legal(tiled2.layout, check_capacity=False)
+
+
+def test_different_seed_misses():
+    cache = TileConfigCache()
+    mapped1, _, tiled1 = build_tiled(cache)
+    tiled1.apply_changeset(
+        flip_first_lut(mapped1), seed=4, preset=EFFORT_PRESETS["fast"]
+    )
+    mapped2, _, tiled2 = build_tiled(cache)
+    r2 = tiled2.apply_changeset(
+        flip_first_lut(mapped2), seed=5, preset=EFFORT_PRESETS["fast"]
+    )
+    assert not r2.cache_hit
+
+
+def test_stale_changeset_bypasses_cache():
+    cache = TileConfigCache()
+    mapped1, _, tiled1 = build_tiled(cache)
+    tiled1.apply_changeset(
+        flip_first_lut(mapped1), seed=4, preset=EFFORT_PRESETS["fast"]
+    )
+    mapped2, _, tiled2 = build_tiled(cache)
+    changes = flip_first_lut(mapped2)
+    lookups_before = cache.hits + cache.misses
+    # forge a base revision that cannot line up with the manager's
+    # last-synced revision: the commit must skip the cache entirely
+    changes.base_revision = (tiled2._synced_revision or 0) + 1000
+    r2 = tiled2.apply_changeset(
+        changes, seed=4, preset=EFFORT_PRESETS["fast"]
+    )
+    assert not r2.cache_hit
+    assert cache.hits + cache.misses == lookups_before
+    assert_layout_legal(tiled2.layout, check_capacity=False)
+
+
+def test_corrupted_entry_is_rejected_and_recomputed():
+    cache = TileConfigCache()
+    mapped1, _, tiled1 = build_tiled(cache)
+    tiled1.apply_changeset(
+        flip_first_lut(mapped1), seed=4, preset=EFFORT_PRESETS["fast"]
+    )
+    # corrupt every stored tile configuration: off-device sites can
+    # never pass apply-time verification
+    for config in cache._entries.values():
+        if config.sites:
+            name = next(iter(config.sites))
+            config.sites[name] = (999, 999)
+
+    mapped2, _, tiled2 = build_tiled(cache)
+    r2 = tiled2.apply_changeset(
+        flip_first_lut(mapped2), seed=4, preset=EFFORT_PRESETS["fast"]
+    )
+    assert not r2.cache_hit
+    assert cache.rejected >= 1
+    assert_layout_legal(tiled2.layout, check_capacity=False)
+
+
+def test_whole_design_pnr_replay():
+    cache = TileConfigCache()
+
+    def build():
+        netlist = make_adder_netlist(8, registered=True)
+        mapped = map_to_luts(netlist)
+        packed = pack_netlist(mapped)
+        device = pick_device(packed.n_clbs, area_overhead=0.5,
+                             min_io=len(packed.io_blocks()))
+        return packed, device
+
+    packed1, device1 = build()
+    layout1 = cached_full_place_and_route(
+        packed1, device1, seed=7, preset=EFFORT_PRESETS["fast"],
+        strict_routing=False, cache=cache,
+    )
+    assert cache.stores == 1 and cache.hits == 0
+
+    packed2, device2 = build()
+    layout2 = cached_full_place_and_route(
+        packed2, device2, seed=7, preset=EFFORT_PRESETS["fast"],
+        strict_routing=False, cache=cache,
+    )
+    assert cache.hits == 1
+    by_name1 = {
+        packed1.blocks[b].name: s for b, s in layout1.placement.pos.items()
+    }
+    by_name2 = {
+        packed2.blocks[b].name: s for b, s in layout2.placement.pos.items()
+    }
+    assert by_name1 == by_name2
+    assert {packed1.nets[i].name: set(t.edges)
+            for i, t in layout1.routes.items()} == {
+        packed2.nets[i].name: set(t.edges)
+        for i, t in layout2.routes.items()
+    }
+    assert_layout_legal(layout2, check_capacity=False)
+
+
+def test_cache_lru_eviction_and_stats():
+    cache = TileConfigCache(max_entries=2)
+    for i in range(3):
+        cache.store(f"k{i}", TileConfig({}, {}, {}))
+    assert len(cache) == 2
+    assert cache.lookup("k0") is None  # evicted
+    assert cache.lookup("k2") is not None
+    assert cache.stores == 3
+    stats = cache.stats()
+    assert stats["hits"] == 1.0 and stats["misses"] == 1.0
+    cache.clear()
+    assert len(cache) == 0 and cache.hits == 0
