@@ -43,12 +43,11 @@ import os
 import sys
 import time
 
-from repro.debug.session import EmulationDebugSession
+from repro.api import DebugPipeline, RunContext, RunResult, RunSpec
 from repro.debug.testgen import random_stimulus
 from repro.errors import DebugFlowError
 from repro.generators import build_design
 from repro.netlist.simulate import SequentialSimulator
-from repro.pnr.effort import EFFORT_PRESETS
 from repro.pnr.flow import layout_legality_errors
 from repro.tiling.cache import DEFAULT_TILE_CACHE
 
@@ -95,72 +94,67 @@ def bench_sim_throughput(
 
 def _localization_campaign(design: str, engine: str, error_seed: int,
                            max_probes: int):
-    """One detect→localize→correct campaign; fresh design per engine."""
-    bundle = build_design(design)
-    session = EmulationDebugSession(
-        bundle.packed,
-        strategy="tiled",
-        seed=1,
-        preset=EFFORT_PRESETS["fast"],
-        engine=engine,
+    """One detect→localize→correct campaign; fresh design per engine.
+
+    Driven through the :mod:`repro.api` pipeline.  Context
+    materialization (design build, strategy construction) stays outside
+    the timed region, matching the historical ``session.run`` timing.
+    """
+    spec = RunSpec(
+        design=design, strategy="tiled", seed=1, preset="fast",
+        engine=engine, error_kind="table_bit", error_seed=error_seed,
+        max_probes=max_probes,
     )
+    ctx = RunContext.from_spec(spec)
     t0 = time.perf_counter()
-    report = session.run(error_kind="table_bit", error_seed=error_seed,
-                         max_probes=max_probes)
+    DebugPipeline().execute(ctx)
     total = time.perf_counter() - t0
-    return report, total, session
+    return RunResult.from_context(ctx, wall_seconds=total), ctx
 
 
 def bench_localization(design: str, error_seed: int,
                        max_probes: int = 12) -> dict:
     out: dict = {}
-    reports = {}
-    sessions = {}
+    results: dict[str, RunResult] = {}
+    contexts = {}
     # the interpreted campaign runs cold (fresh cache); the compiled
     # campaign re-presents the identical commit sequence and replays the
     # precomputed configurations — the commit-phase comparison
     DEFAULT_TILE_CACHE.clear()
     for engine in ENGINES:
-        report, total, session = _localization_campaign(
+        result, ctx = _localization_campaign(
             design, engine, error_seed, max_probes
         )
-        reports[engine] = report
-        sessions[engine] = session
-        loc = report.localization
-        if loc is None or not loc.steps:
+        results[engine] = result
+        contexts[engine] = ctx
+        if not result.probe_trajectory:
             raise DebugFlowError(
                 f"{design}: error seed {error_seed} produced no probes; "
                 "pick a different ERROR_SEEDS entry"
             )
         out[engine] = {
-            "campaign_seconds": total,
-            "n_probes": loc.n_probes,
-            "n_candidates": len(loc.candidates),
-            "localization_seconds": loc.localization_seconds,
-            "seconds_per_probe": loc.localization_seconds / loc.n_probes,
-            "timings": {k: round(v, 6) for k, v in loc.timings.items()},
-            "commit_cache_hits": report.n_commit_cache_hits,
+            "campaign_seconds": result.wall_seconds,
+            "n_probes": result.n_probes,
+            "n_candidates": len(result.candidates),
+            "localization_seconds": result.localization_seconds,
+            "seconds_per_probe": (
+                result.localization_seconds / result.n_probes
+            ),
+            "timings": dict(result.timings["localization"]),
+            "commit_cache_hits": result.n_commit_cache_hits,
         }
 
-    li = reports["interpreted"].localization
-    lc = reports["compiled"].localization
-    steps_i = [
-        (s.probe_instance, s.mismatch, s.candidates_before,
-         s.candidates_after)
-        for s in li.steps
-    ]
-    steps_c = [
-        (s.probe_instance, s.mismatch, s.candidates_before,
-         s.candidates_after)
-        for s in lc.steps
-    ]
-    assert steps_i == steps_c, f"{design}: probe trajectories diverge"
-    assert li.candidates == lc.candidates, (
+    ri = results["interpreted"]
+    rc = results["compiled"]
+    assert ri.trajectory_key() == rc.trajectory_key(), (
+        f"{design}: probe trajectories diverge"
+    )
+    assert ri.candidates == rc.candidates, (
         f"{design}: final candidate sets diverge"
     )
     out["identical_results"] = True
     out["speedup"] = (
-        li.localization_seconds / lc.localization_seconds
+        ri.localization_seconds / rc.localization_seconds
     )
     out["campaign_speedup"] = (
         out["interpreted"]["campaign_seconds"]
@@ -168,10 +162,10 @@ def bench_localization(design: str, error_seed: int,
     )
 
     # ---- commit phase: cold (fresh P&R) vs warm (replayed configs) ----
-    cold = li.timings["commit"]
-    warm = lc.timings["commit"]
-    n_commits = len(sessions["compiled"].strategy.commit_history)
-    warm_hits = reports["compiled"].n_commit_cache_hits
+    cold = ri.commit_seconds
+    warm = rc.commit_seconds
+    n_commits = rc.n_commits
+    warm_hits = rc.n_commit_cache_hits
     out["commit_phase"] = {
         "n_commits": n_commits,
         "cold_seconds": round(cold, 6),
@@ -184,7 +178,7 @@ def bench_localization(design: str, error_seed: int,
         # region commits run non-strict, so capacity is reported by the
         # gate only through the overuse-allowance check at replay time
         "routed_legal": not layout_legality_errors(
-            sessions["compiled"].strategy.layout, check_capacity=False
+            contexts["compiled"].strategy.layout, check_capacity=False
         ),
     }
     return out

@@ -4,7 +4,8 @@
 Injects a realistic design error into the DES benchmark, then runs the
 paper's complete loop — detect on random plaintexts, tile, localize with
 observation points, correct, re-verify — under both the tiled back end
-and the Quick_ECO baseline, and reports the effort each strategy spent.
+and the Quick_ECO baseline via the `repro.api` facade, and reports the
+effort each strategy spent.
 
 This is the scenario the paper's introduction motivates: a large
 "real world" design (1050 CLBs of DES on XC4000) where every debugging
@@ -18,53 +19,56 @@ Run:  python examples/debug_des_pipeline.py            (a few minutes)
 import os
 import time
 
-from repro.debug.session import run_campaign
-from repro.generators import build_design
-from repro.generators.des import make_des
-from repro.pnr.effort import EFFORT_PRESETS
-from repro.synth import map_to_luts, pack_netlist
-from repro.tiling.partition import TilingOptions
+from repro.api import CampaignRunner, RunSpec, expand_matrix
 
 
-def packed_des():
+def base_spec() -> RunSpec:
+    common = dict(
+        strategy="tiled",
+        error_kind="wrong_function",
+        seed=5,
+        error_seed=5,
+        preset="fast",
+        tiling={"n_tiles": 10, "area_overhead": 0.2},
+        n_cycles=8,
+        n_patterns=64,
+    )
     if os.environ.get("REPRO_SMALL"):
-        netlist = make_des("des_small", n_rounds=2, pipeline=True)
-        return pack_netlist(map_to_luts(netlist))
-    return build_design("des").packed
+        # a reduced 2-round DES through the parameterized generator
+        return RunSpec(
+            design="des",
+            design_params={"name": "des_small", "n_rounds": 2,
+                           "pipeline": True},
+            **common,
+        )
+    return RunSpec(design="des", **common)
 
 
 def main() -> None:
     t0 = time.time()
     print("building DES and running the debug campaign "
           "(tiled vs Quick_ECO)...")
-    reports = run_campaign(
-        packed_des,
-        ["tiled", "quick_eco"],
-        error_kind="wrong_function",
-        seed=5,
-        preset=EFFORT_PRESETS["fast"],
-        tiling=TilingOptions(n_tiles=10, area_overhead=0.2),
-        n_cycles=8,
-        n_patterns=64,
-    )
+    specs = expand_matrix(base_spec(), strategies=["tiled", "quick_eco"])
+    campaign = CampaignRunner().run(specs)
 
-    for name, report in reports.items():
-        loc = report.localization
-        print(f"\n-- strategy: {name} --")
-        print(f"   error: {report.error.kind} @ {report.error.instance} "
-              f"({report.error.detail})")
-        print(f"   detected: {report.detected}   fixed: {report.fixed}")
-        if loc is not None:
-            print(f"   localization probes: {loc.n_probes}, final "
-                  f"candidates: {len(loc.candidates)} "
-                  f"(true error inside: {report.localized_correctly})")
-        print(f"   physical-design commits: {report.n_commits}")
+    for result in campaign.results:
+        print(f"\n-- strategy: {result.strategy} --")
+        print(f"   error: {result.error_kind} @ {result.error_instance} "
+              f"({result.error_detail})")
+        print(f"   detected: {result.detected}   fixed: {result.fixed}")
+        if result.detected:
+            print(f"   localization probes: {result.n_probes}, final "
+                  f"candidates: {len(result.candidates)} "
+                  f"(true error inside: {result.localized})")
+        print(f"   physical-design commits: {result.n_commits}")
+        effort = result.effort["debug"]
         print(f"   debug-loop effort: "
-              f"{report.total_effort.work_units:12.0f} work units "
-              f"({report.total_effort.wall_seconds:6.1f} s wall)")
+              f"{effort['work_units']:12.0f} work units "
+              f"({effort['wall_seconds']:6.1f} s wall)")
 
-    tiled = reports["tiled"].total_effort.work_units
-    quick = reports["quick_eco"].total_effort.work_units
+    by_strategy = {r.strategy: r for r in campaign.results}
+    tiled = by_strategy["tiled"].effort["debug"]["work_units"]
+    quick = by_strategy["quick_eco"].effort["debug"]["work_units"]
     print(f"\n=> tiling reduced back-end effort by {quick / tiled:.1f}x "
           f"over functional-block re-place-and-route")
     print(f"   total example runtime: {time.time() - t0:.0f} s")

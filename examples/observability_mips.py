@@ -20,29 +20,29 @@ Run:  python examples/observability_mips.py          (about a minute)
 import os
 import time
 
-from repro.arch import pick_device
+from repro.api import RunSpec, device_for, load_bundle
 from repro.debug.instrument import test_logic_block
-from repro.generators import build_design
-from repro.generators.mips import make_mips
 from repro.pnr.effort import EFFORT_PRESETS
-from repro.synth import map_to_luts, pack_netlist
 from repro.tiling import TiledLayout, TilingOptions
 
 
 def build_core():
+    """Design resolution through the facade's shared loader."""
     if os.environ.get("REPRO_SMALL"):
-        netlist = make_mips("mips_small", width=8, n_regs=4)
-        mapped = map_to_luts(netlist)
-        return mapped, pack_netlist(mapped)
-    bundle = build_design("mips")
+        spec = RunSpec(
+            design="mips",
+            design_params={"name": "mips_small", "width": 8, "n_regs": 4},
+        )
+    else:
+        spec = RunSpec(design="mips")
+    bundle = load_bundle(spec)
     return bundle.mapped, bundle.packed
 
 
 def main() -> None:
     t0 = time.time()
     mapped, packed = build_core()
-    device = pick_device(packed.n_clbs, area_overhead=0.35,
-                         min_io=len(packed.io_blocks()) + 8)
+    device = device_for(packed, area_overhead=0.35, min_io_extra=8)
     print(f"MIPS core: {packed.n_clbs} CLBs on {device.name}")
 
     tiled = TiledLayout.create(

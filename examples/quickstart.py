@@ -1,93 +1,79 @@
 #!/usr/bin/env python
-"""Quickstart: tile a design, change one LUT, re-P&R only its tile.
+"""Quickstart: the paper's debug flow through the `repro.api` facade.
 
-Walks the paper's core idea on a small circuit in under a minute:
+One spec drives the whole loop in a few seconds:
 
-1. build a netlist, map it to 4-LUTs, pack it into XC4000 CLBs;
-2. place-and-route it, then partition the layout into locked tiles
-   with ~20 % resource slack;
-3. make a "debugging change" (flip a LUT truth table);
-4. commit it — only the affected tile is cleared and re-implemented —
-   and prove it with bitstream frame digests;
-5. compare the back-end effort against re-implementing everything.
+1. declare a `RunSpec` — design, error model, strategy, engine, seeds —
+   and show that it round-trips through JSON (specs are how campaigns
+   are stored and shipped between processes);
+2. run it: detect → localize → correct → verify, watching stage,
+   probe, and commit events through `PipelineHooks`;
+3. read the `RunResult` — candidates, probe trajectory, effort,
+   timings — all plain JSON;
+4. run the identical spec again: every commit replays a precomputed
+   tile configuration (the paper's core trick, mechanized as a cache).
 
 Run:  python examples/quickstart.py
+Same flow from the shell:  python -m repro run --design 9sym \
+    --error-seed 1 --preset fast --json -
 """
 
-from repro.arch import pick_device
-from repro.emu import frames_for_tiles
-from repro.netlist import CellKind, Netlist, NetlistBuilder
-from repro.pnr import EFFORT_PRESETS, EffortMeter, full_place_and_route
-from repro.synth import map_to_luts, pack_netlist
-from repro.tiling import TiledLayout, TilingOptions
-from repro.tiling.eco import ChangeRecorder
+from repro.api import PipelineHooks, RunSpec, run_spec
 
 
-def build_demo_netlist() -> Netlist:
-    """A 12-bit registered adder/comparator — enough CLBs to tile."""
-    netlist = Netlist("quickstart")
-    b = NetlistBuilder(netlist)
-    a = b.input_word("a", 12)
-    c = b.input_word("b", 12)
-    total, carry = b.adder(a, c)
-    regs = b.register(total, name="acc")
-    b.output_word("sum", regs)
-    netlist.add_output("carry", carry)
-    netlist.add_output("a_lt_b", b.less_than_unsigned(a, c))
-    return netlist
+class PrintHooks(PipelineHooks):
+    """Console narration of pipeline events."""
+
+    def on_stage_start(self, stage, ctx):
+        print(f"   stage {stage.name}...")
+
+    def on_probe(self, ctx, step):
+        verdict = "mismatch" if step.mismatch else "match"
+        print(f"      probe {step.probe_instance}: {verdict}, "
+              f"{step.candidates_before} -> {step.candidates_after} "
+              "candidates")
+
+    def on_commit(self, ctx, record):
+        print(f"      commit: {record.description} ({record.detail})")
 
 
 def main() -> None:
-    print("== 1. front end ==")
-    netlist = build_demo_netlist()
-    mapped = map_to_luts(netlist)
-    packed = pack_netlist(mapped)
-    print(f"   {netlist.stats().n_gates} gates -> "
-          f"{mapped.stats().n_luts} LUTs + {mapped.stats().n_ffs} FFs "
-          f"-> {packed.n_clbs} CLBs")
-
-    print("== 2. place-and-route, then tile ==")
-    device = pick_device(packed.n_clbs, area_overhead=0.5,
-                         min_io=len(packed.io_blocks()))
-    layout = full_place_and_route(packed, device, seed=1,
-                                  preset=EFFORT_PRESETS["fast"])
-    tiled = TiledLayout.create(
-        packed, device, TilingOptions(n_tiles=4, area_overhead=0.25),
-        seed=1, preset=EFFORT_PRESETS["fast"], initial_layout=layout,
+    print("== 1. the spec ==")
+    spec = RunSpec(
+        design="9sym",          # paper benchmark, 56 CLBs
+        strategy="tiled",       # the paper's contribution
+        engine="compiled",      # instruction-tape simulation kernel
+        preset="fast",
+        error_kind="table_bit",
+        error_seed=1,
+        max_probes=6,
     )
-    stats = tiled.stats()
-    print(f"   device {device.name}, {stats.n_tiles} tiles, "
-          f"area overhead {stats.area_overhead:.1%}, "
-          f"{stats.inter_tile_nets} inter-tile nets")
-    print(f"   critical path {tiled.layout.critical_path():.1f} ns")
+    assert RunSpec.from_json(spec.to_json()) == spec
+    print(f"   {spec.design} / {spec.strategy} / {spec.engine} "
+          f"(JSON round-trip ok, {len(spec.to_json())} bytes)")
 
-    print("== 3. a debugging change ==")
-    lut = next(i for i in mapped.instances()
-               if i.kind is CellKind.LUT and i.inputs)
-    with ChangeRecorder(mapped, "fix suspected bug") as rec:
-        size = 1 << len(lut.inputs)
-        lut.params = {"table": lut.params["table"] ^ (size - 1)}
-    print(f"   inverted LUT {lut.name} "
-          f"(tile {tiled.tile_of_instance(lut.name)})")
+    print("== 2. detect -> localize -> correct -> verify ==")
+    result = run_spec(spec, hooks=PrintHooks())
 
-    print("== 4. tile-confined commit ==")
-    rects = [t.rect for t in tiled.tiles]
-    before = frames_for_tiles(tiled.layout, rects)
-    report = tiled.apply_changeset(rec.changes, seed=2,
-                                   preset=EFFORT_PRESETS["fast"])
-    after = frames_for_tiles(tiled.layout, rects)
-    untouched = [i for i, (x, y) in enumerate(zip(before, after)) if x == y]
-    print(f"   affected tiles: {report.affected_tiles}")
-    print(f"   bit-identical tiles: {untouched}")
+    print("== 3. the result ==")
+    print(f"   error injected at {result.error_instance} "
+          f"({result.error_detail})")
+    print(f"   detected={result.detected}  localized={result.localized}  "
+          f"fixed={result.fixed}")
+    print(f"   {result.n_probes} probes -> "
+          f"{len(result.candidates)} candidates: {result.candidates}")
+    print(f"   debug effort: "
+          f"{result.effort['debug']['work_units']:.0f} work units over "
+          f"{result.n_commits} commits")
 
-    print("== 5. effort comparison ==")
-    baseline = EffortMeter()
-    full_place_and_route(packed, device, seed=3,
-                         preset=EFFORT_PRESETS["fast"], meter=baseline)
-    speedup = baseline.work_units / report.effort.work_units
-    print(f"   tiled commit:   {report.effort.work_units:9.0f} work units")
-    print(f"   full re-P&R:    {baseline.work_units:9.0f} work units")
-    print(f"   speedup:        {speedup:.1f}x")
+    print("== 4. same spec again: precomputed configurations replay ==")
+    warm = run_spec(spec)
+    print(f"   commits served from the tile-config cache: "
+          f"{warm.n_commit_cache_hits}/{warm.n_commits}")
+    print(f"   identical trajectory: "
+          f"{warm.trajectory_key() == result.trajectory_key()}")
+    print(f"   wall: {result.wall_seconds:.2f}s cold, "
+          f"{warm.wall_seconds:.2f}s warm")
 
 
 if __name__ == "__main__":

@@ -18,6 +18,9 @@ paper's contribution:
 * :mod:`repro.debug` — the emulation debug loop (detect/localize/correct).
 * :mod:`repro.emu` — cycle emulation and mock bitstreams.
 * :mod:`repro.analysis` — experiment drivers for Table 1 and Figures 3-5.
+* :mod:`repro.api` — the public facade: `RunSpec`, the staged
+  detect→localize→correct→verify pipeline, `CampaignRunner`, and the
+  ``python -m repro`` CLI.
 """
 
 from repro._version import __version__

@@ -22,11 +22,13 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass, field
 
-from repro.arch.device import Device, pick_device
+from repro.api.design import device_for, load_bundle
+from repro.api.spec import RunSpec
+from repro.arch.device import Device
 from repro.debug.errors import inject_error
 from repro.debug.correct import apply_correction
 from repro.errors import TilingError
-from repro.generators.registry import build_design, paper_design_names
+from repro.generators.registry import paper_design_names
 from repro.netlist.cells import CellKind
 from repro.pnr.effort import EffortMeter, EFFORT_PRESETS, EffortPreset
 from repro.pnr.flow import Layout, full_place_and_route, incremental_update
@@ -59,11 +61,14 @@ class _DesignContext:
     def __init__(self, name: str, config: ExperimentConfig) -> None:
         self.name = name
         self.config = config
-        self.bundle = build_design(name, seed=config.seed)
-        self.device: Device = pick_device(
-            self.bundle.n_clbs,
+        # design/device resolution is shared with the repro.api facade
+        self.bundle = load_bundle(
+            RunSpec(design=name, design_seed=config.seed)
+        )
+        self.device: Device = device_for(
+            self.bundle.packed,
             area_overhead=config.area_overhead + 0.15,
-            min_io=len(self.bundle.packed.io_blocks()) + 8,
+            min_io_extra=8,
         )
         self._untiled: Layout | None = None
         self._untiled_effort: EffortMeter | None = None
@@ -389,6 +394,77 @@ def run_ablation_slack(
         series = run_figure3(suite=suite, logic_sizes=logic_sizes)[0]
         for size, pct in zip(series.logic_sizes, series.pct_affected):
             rows.append(SlackAblationRow(design, overhead, size, pct))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# debug-campaign strategy comparison (facade-driven)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StrategyComparisonRow:
+    design: str
+    strategy: str
+    detected: bool
+    localized: bool
+    fixed: bool
+    n_probes: int
+    n_commits: int
+    debug_work_units: float
+    speedup_vs_strategy: dict  # strategy name -> work-unit speedup
+
+
+def run_strategy_comparison(
+    designs: list[str],
+    strategies: tuple[str, ...] = ("tiled", "quick_eco"),
+    error_kind: str = "table_bit",
+    seed: int = 1,
+    preset: str = "fast",
+    n_tiles: int = 10,
+    workers: int = 1,
+) -> list[StrategyComparisonRow]:
+    """Debug-loop effort per back-end strategy (the Figure-5 question
+    asked end-to-end), driven through :class:`repro.api.CampaignRunner`.
+
+    Each (design, strategy) cell is one full detect→localize→correct→
+    verify run; the per-row ``speedup_vs_strategy`` compares debugging
+    work units within the same design.
+    """
+    from repro.api import CampaignRunner, expand_matrix
+
+    if not designs:
+        raise ValueError("designs must name at least one design")
+    base = RunSpec(
+        design=designs[0], error_kind=error_kind, seed=seed,
+        error_seed=seed, preset=preset, tiling={"n_tiles": n_tiles},
+    )
+    specs = expand_matrix(base, designs=list(designs),
+                          strategies=list(strategies))
+    campaign = CampaignRunner(workers=workers).run(specs)
+    by_cell = {
+        (r.design, r.strategy): r for r in campaign.results
+    }
+    rows: list[StrategyComparisonRow] = []
+    for result in campaign.results:
+        work = result.effort["debug"]["work_units"]
+        speedups = {}
+        for other in strategies:
+            peer = by_cell.get((result.design, other))
+            if peer is None or other == result.strategy:
+                continue
+            peer_work = peer.effort["debug"]["work_units"]
+            speedups[other] = peer_work / work if work else float("inf")
+        rows.append(StrategyComparisonRow(
+            design=result.design,
+            strategy=result.strategy,
+            detected=result.detected,
+            localized=result.localized,
+            fixed=result.fixed,
+            n_probes=result.n_probes,
+            n_commits=result.n_commits,
+            debug_work_units=work,
+            speedup_vs_strategy=speedups,
+        ))
     return rows
 
 

@@ -1,0 +1,60 @@
+"""Public debug-pipeline facade — the one stable entry point.
+
+The paper's contribution is an end-to-end flow; this package is its
+API surface:
+
+* :class:`RunSpec` — frozen, JSON-round-trippable definition of a run
+  (design, device, error model, engine, strategy, budgets, seeds,
+  cache policy);
+* the staged pipeline — :class:`DetectStage` → :class:`LocalizeStage`
+  → :class:`CorrectStage` → :class:`VerifyStage` over a shared
+  :class:`RunContext`, observable through :class:`PipelineHooks`;
+* :func:`run_spec` — one spec in, one :class:`RunResult` out;
+* :class:`CampaignRunner` / :func:`expand_matrix` — fan spec grids
+  through the pipeline with `concurrent.futures` workers;
+* the ``python -m repro`` CLI (``run`` / ``campaign`` / ``bench`` /
+  ``report``) built on all of the above.
+
+Legacy entry points (`EmulationDebugSession`, `run_campaign`) are thin
+shims over these stages and stay bit-identical.
+"""
+
+from repro.api.campaign import CampaignResult, CampaignRunner, expand_matrix
+from repro.api.design import GENERATOR_BUILDERS, device_for, load_bundle
+from repro.api.pipeline import (
+    CorrectStage,
+    DebugPipeline,
+    DetectStage,
+    LocalizeStage,
+    PipelineHooks,
+    RunContext,
+    Stage,
+    VerifyStage,
+    default_stages,
+    run_spec,
+)
+from repro.api.result import RunResult
+from repro.api.spec import CACHE_POLICIES, ENGINE_NAMES, RunSpec
+
+__all__ = [
+    "CACHE_POLICIES",
+    "CampaignResult",
+    "CampaignRunner",
+    "CorrectStage",
+    "DebugPipeline",
+    "DetectStage",
+    "ENGINE_NAMES",
+    "GENERATOR_BUILDERS",
+    "LocalizeStage",
+    "PipelineHooks",
+    "RunContext",
+    "RunResult",
+    "RunSpec",
+    "Stage",
+    "VerifyStage",
+    "default_stages",
+    "device_for",
+    "expand_matrix",
+    "load_bundle",
+    "run_spec",
+]

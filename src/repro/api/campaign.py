@@ -1,0 +1,223 @@
+"""`CampaignRunner` — fan a list of specs through the pipeline.
+
+A campaign is just N independent pipeline runs: each spec builds its
+own design copy, so runs share nothing but the (lock-guarded) tile
+configuration cache.  That makes the fan-out embarrassingly parallel —
+`concurrent.futures` threads by default — and deterministic: results
+come back in spec order and every run's candidates and probe
+trajectory are independent of worker count (cache replays are verified
+bit-identical to the fresh path before they are applied).
+
+`expand_matrix` builds the common spec grids (designs x error seeds x
+strategies x engines) from one base spec.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.api.pipeline import PipelineHooks, resolve_tile_cache, run_spec
+from repro.api.result import RunResult
+from repro.api.spec import RunSpec
+from repro.tiling.cache import (
+    TileConfigCache,
+    load_tile_cache,
+    save_tile_cache,
+    stats_delta,
+)
+
+
+def expand_matrix(
+    base: RunSpec,
+    designs: list[str] | None = None,
+    strategies: list[str] | None = None,
+    engines: list[str] | None = None,
+    error_kinds: list[str] | None = None,
+    error_seeds: list[int] | None = None,
+    seeds: list[int] | None = None,
+) -> list[RunSpec]:
+    """The cartesian spec grid over the given axes, in a fixed order.
+
+    Axes left as ``None`` keep the base spec's value.  Order is the
+    nesting order of the arguments (designs outermost, seeds innermost)
+    so a results file lines up with the grid row by row.
+    """
+    axes = [
+        ("design", designs), ("strategy", strategies),
+        ("engine", engines), ("error_kind", error_kinds),
+        ("error_seed", error_seeds), ("seed", seeds),
+    ]
+    names = [name for name, values in axes if values is not None]
+    pools = [values for _, values in axes if values is not None]
+    if not names:
+        return [base]
+    return [
+        base.replaced(**dict(zip(names, combo)))
+        for combo in itertools.product(*pools)
+    ]
+
+
+@dataclass
+class CampaignResult:
+    """Ordered run results plus campaign-level aggregates."""
+
+    results: list = field(default_factory=list)
+    wall_seconds: float = 0.0
+    workers: int = 1
+    #: aggregate tile-cache counters at campaign end (None if disabled)
+    cache: dict | None = None
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.results)
+
+    @property
+    def n_detected(self) -> int:
+        return sum(1 for r in self.results if r.detected)
+
+    @property
+    def n_localized(self) -> int:
+        return sum(1 for r in self.results if r.localized)
+
+    @property
+    def n_fixed(self) -> int:
+        return sum(1 for r in self.results if r.fixed)
+
+    def to_dict(self) -> dict:
+        return {
+            "n_runs": self.n_runs,
+            "n_detected": self.n_detected,
+            "n_localized": self.n_localized,
+            "n_fixed": self.n_fixed,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "workers": self.workers,
+            "cache": self.cache,
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignResult":
+        return cls(
+            results=[RunResult.from_dict(r) for r in data.get("results", [])],
+            wall_seconds=data.get("wall_seconds", 0.0),
+            workers=data.get("workers", 1),
+            cache=data.get("cache"),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+
+    @classmethod
+    def load(cls, path: str) -> "CampaignResult":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+
+class CampaignRunner:
+    """Runs a list of specs, optionally across worker threads.
+
+    Cache policy is honored per spec: ``"shared"`` runs use the
+    process-wide default cache, ``"private"`` runs share one
+    campaign-local cache (isolated from the rest of the process, but
+    warm across the campaign's own runs), and ``"off"`` runs get none.
+    Each cache in play is warmed from ``cache_dir`` once up front and
+    written back once at the end; ``CampaignResult.cache`` reports the
+    counter delta over the whole campaign.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        hooks: PipelineHooks | None = None,
+        tile_cache: TileConfigCache | None = None,
+        cache_dir: str | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.hooks = hooks
+        self.cache_dir = cache_dir
+        #: caller-supplied override: used for every cache-enabled run
+        self.tile_cache = tile_cache
+        self._override_loaded = False
+        self._policy_caches: dict[str, TileConfigCache] = {}
+
+    def _cache_for(self, spec: RunSpec) -> TileConfigCache | None:
+        if spec.cache == "off":
+            return None
+        if self.tile_cache is not None:
+            if self.cache_dir is not None and not self._override_loaded:
+                load_tile_cache(self.cache_dir, self.tile_cache)
+                self._override_loaded = True
+            return self.tile_cache
+        cache = self._policy_caches.get(spec.cache)
+        if cache is None:
+            cache = (
+                TileConfigCache() if spec.cache == "private"
+                else resolve_tile_cache(spec)
+            )
+            if self.cache_dir is not None:
+                load_tile_cache(self.cache_dir, cache)
+            self._policy_caches[spec.cache] = cache
+        return cache
+
+    def _campaign_caches(self) -> list[TileConfigCache]:
+        """Distinct caches in play, in first-use order."""
+        caches: list[TileConfigCache] = []
+        if self.tile_cache is not None:
+            caches.append(self.tile_cache)
+        for cache in self._policy_caches.values():
+            if all(cache is not c for c in caches):
+                caches.append(cache)
+        return caches
+
+    def _run_one(self, spec: RunSpec) -> RunResult:
+        return run_spec(spec, hooks=self.hooks,
+                        tile_cache=self._cache_for(spec))
+
+    def run(self, specs: list[RunSpec]) -> CampaignResult:
+        specs = list(specs)
+        # resolve every cache before the fan-out so disk loads happen
+        # exactly once and the stats deltas bracket the runs
+        for spec in specs:
+            self._cache_for(spec)
+        caches = self._campaign_caches()
+        before = [cache.stats() for cache in caches]
+        t0 = time.perf_counter()
+        if self.workers == 1 or len(specs) <= 1:
+            results = [self._run_one(spec) for spec in specs]
+        else:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                results = list(pool.map(self._run_one, specs))
+        wall = time.perf_counter() - t0
+        if self.cache_dir is not None:
+            for cache in caches:
+                # merge what is already on disk so one policy's save
+                # does not drop another's entries
+                load_tile_cache(self.cache_dir, cache)
+                save_tile_cache(cache, self.cache_dir)
+        cache_delta = None
+        if caches:
+            deltas = [
+                stats_delta(b, cache.stats())
+                for b, cache in zip(before, caches)
+            ]
+            cache_delta = {
+                k: sum(d[k] for d in deltas)
+                for k in ("hits", "misses", "stores", "rejected", "entries")
+            }
+            looked = cache_delta["hits"] + cache_delta["misses"]
+            cache_delta["hit_rate"] = (
+                cache_delta["hits"] / looked if looked else 0.0
+            )
+        return CampaignResult(
+            results=results,
+            wall_seconds=wall,
+            workers=self.workers,
+            cache=cache_delta,
+        )

@@ -1,0 +1,328 @@
+"""``python -m repro`` — the command-line face of the facade.
+
+Four subcommands, all built on :mod:`repro.api`:
+
+* ``run`` — one spec through the pipeline; ``--json -`` streams the
+  :class:`RunResult` to stdout (human summary goes to stderr).
+  Exit code 0 iff the error was detected and the fix verified.
+* ``campaign`` — a spec matrix (designs x strategies x engines x error
+  seeds x seeds) through :class:`CampaignRunner`; writes a results
+  JSON that ``report`` re-loads.
+* ``bench`` — the same campaign under both engines, asserting
+  bit-identical trajectories and reporting the speedup.
+* ``report`` — pretty-print a results file written by ``run`` or
+  ``campaign``.
+
+``--cache-dir DIR`` persists the tile-configuration cache across
+invocations, so a repeated run starts warm and replays precomputed
+configurations instead of re-running place-and-route.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.api.campaign import CampaignResult, CampaignRunner, expand_matrix
+from repro.api.pipeline import PipelineHooks, run_spec
+from repro.api.result import RunResult
+from repro.api.spec import CACHE_POLICIES, ENGINE_NAMES, RunSpec
+from repro.debug.errors import ERROR_KINDS
+from repro.debug.strategies import STRATEGY_REGISTRY
+from repro.errors import ReproError
+from repro.pnr.effort import EFFORT_PRESETS
+
+
+class _ProgressHooks(PipelineHooks):
+    """``--verbose``: stage and probe progress on stderr."""
+
+    def on_stage_start(self, stage, ctx) -> None:
+        print(f"[{ctx.packed.netlist.name}] {stage.name}...",
+              file=sys.stderr)
+
+    def on_stage_end(self, stage, ctx, seconds) -> None:
+        print(f"[{ctx.packed.netlist.name}] {stage.name} done "
+              f"({seconds:.2f}s)", file=sys.stderr)
+
+    def on_probe(self, ctx, step) -> None:
+        print(
+            f"  probe {step.probe_instance}: "
+            f"{'mismatch' if step.mismatch else 'match'}, "
+            f"{step.candidates_before} -> {step.candidates_after} "
+            "candidates",
+            file=sys.stderr,
+        )
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags that override RunSpec fields (None = keep spec default)."""
+    g = parser.add_argument_group("run spec")
+    g.add_argument("--spec", metavar="FILE",
+                   help="base RunSpec JSON file; flags override it")
+    g.add_argument("--design", help="registry design name")
+    g.add_argument("--design-seed", type=int, dest="design_seed")
+    g.add_argument("--blif", dest="blif_path", metavar="FILE",
+                   help="debug a BLIF netlist instead of a registry design")
+    g.add_argument("--device", help="XC4000 family member (default: auto)")
+    g.add_argument("--strategy", choices=sorted(STRATEGY_REGISTRY))
+    g.add_argument("--preset", choices=list(EFFORT_PRESETS))
+    g.add_argument("--engine", choices=list(ENGINE_NAMES))
+    g.add_argument("--seed", type=int)
+    g.add_argument("--error-kind", dest="error_kind",
+                   choices=list(ERROR_KINDS))
+    g.add_argument("--error-seed", type=int, dest="error_seed")
+    g.add_argument("--max-probes", type=int, dest="max_probes")
+    g.add_argument("--goal-size", type=int, dest="goal_size")
+    g.add_argument("--n-patterns", type=int, dest="n_patterns")
+    g.add_argument("--n-cycles", type=int, dest="n_cycles")
+    g.add_argument("--n-tiles", type=int, dest="n_tiles",
+                   help="tiling granularity (TilingOptions.n_tiles)")
+    g.add_argument("--cache", choices=list(CACHE_POLICIES))
+    g.add_argument("--cache-dir", dest="cache_dir", metavar="DIR",
+                   help="persist the tile-config cache across invocations")
+
+
+_SPEC_FLAGS = (
+    "design", "design_seed", "blif_path", "device", "strategy", "preset",
+    "engine", "seed", "error_kind", "error_seed", "max_probes",
+    "goal_size", "n_patterns", "n_cycles", "cache", "cache_dir",
+)
+
+
+def _spec_from_args(args: argparse.Namespace) -> RunSpec:
+    if args.spec:
+        with open(args.spec) as fh:
+            spec = RunSpec.from_dict(json.load(fh))
+    else:
+        spec = RunSpec()
+    overrides = {
+        name: getattr(args, name)
+        for name in _SPEC_FLAGS
+        if getattr(args, name, None) is not None
+    }
+    if getattr(args, "n_tiles", None) is not None:
+        tiling = dict(spec.tiling or {})
+        tiling["n_tiles"] = args.n_tiles
+        overrides["tiling"] = tiling
+    return spec.replaced(**overrides) if overrides else spec
+
+
+def _parse_csv(text: str | None, convert=str) -> list | None:
+    if text is None:
+        return None
+    values = [convert(v.strip()) for v in text.split(",") if v.strip()]
+    return values or None
+
+
+def _summary_line(result: RunResult) -> str:
+    return (
+        f"{result.design:<10} {result.strategy:<12} {result.engine:<12} "
+        f"err={result.error_kind}@{result.error_instance:<14} "
+        f"detected={str(result.detected):<5} "
+        f"localized={str(result.localized):<5} "
+        f"fixed={str(result.fixed):<5} "
+        f"probes={result.n_probes:<3} commits={result.n_commits:<3} "
+        f"cache_hits={result.n_commit_cache_hits:<3} "
+        f"{result.wall_seconds:7.2f}s"
+    )
+
+
+def _emit_json(payload: dict, target: str) -> None:
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if target == "-":
+        print(text)
+    else:
+        with open(target, "w") as fh:
+            fh.write(text + "\n")
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+
+def cmd_run(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    hooks = _ProgressHooks() if args.verbose else None
+    result = run_spec(spec, hooks=hooks)
+    info = sys.stderr if args.json == "-" else sys.stdout
+    print(_summary_line(result), file=info)
+    for note in result.notes:
+        print(f"  note: {note}", file=info)
+    if args.json:
+        _emit_json(result.to_dict(), args.json)
+    return 0 if (result.detected and result.fixed) else 1
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    base = _spec_from_args(args)
+    specs = expand_matrix(
+        base,
+        designs=_parse_csv(args.designs),
+        strategies=_parse_csv(args.strategies),
+        engines=_parse_csv(args.engines),
+        error_kinds=_parse_csv(args.error_kinds),
+        error_seeds=_parse_csv(args.error_seeds, int),
+        seeds=_parse_csv(args.seeds, int),
+    )
+    hooks = _ProgressHooks() if args.verbose else None
+    runner = CampaignRunner(workers=args.workers, hooks=hooks,
+                            cache_dir=base.cache_dir)
+    campaign = runner.run(specs)
+    info = sys.stderr if args.out == "-" else sys.stdout
+    for result in campaign.results:
+        print(_summary_line(result), file=info)
+    print(
+        f"{campaign.n_runs} runs, {campaign.n_detected} detected, "
+        f"{campaign.n_localized} localized, {campaign.n_fixed} fixed "
+        f"({campaign.wall_seconds:.1f}s, {campaign.workers} workers)",
+        file=info,
+    )
+    if campaign.cache is not None:
+        print(
+            "tile cache: {hits:.0f} hits / {misses:.0f} misses "
+            "(hit rate {hit_rate:.2f})".format(**campaign.cache),
+            file=info,
+        )
+    if args.out:
+        _emit_json(campaign.to_dict(), args.out)
+        if args.out != "-":
+            print(f"wrote {args.out}", file=info)
+    return 0 if campaign.n_runs else 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Both engines over the same matrix; assert bit-identity, report."""
+    base = _spec_from_args(args)
+    designs = _parse_csv(args.designs) or [base.design]
+    rows = []
+    ok = True
+    for design in designs:
+        per_engine: dict[str, RunResult] = {}
+        for engine in ENGINE_NAMES:
+            spec = base.replaced(design=design, engine=engine)
+            per_engine[engine] = run_spec(spec)
+        interp, comp = per_engine["interpreted"], per_engine["compiled"]
+        identical = (
+            interp.trajectory_key() == comp.trajectory_key()
+            and interp.candidates == comp.candidates
+        )
+        ok = ok and identical
+        loc_i, loc_c = interp.localization_seconds, comp.localization_seconds
+        speedup = loc_i / loc_c if loc_c > 0 else float("inf")
+        rows.append({
+            "design": design,
+            "identical_results": identical,
+            "interpreted_seconds": round(loc_i, 6),
+            "compiled_seconds": round(loc_c, 6),
+            "localization_speedup": round(speedup, 3),
+            "n_probes": comp.n_probes,
+        })
+        print(
+            f"{design:<10} localization {loc_i:8.3f}s -> {loc_c:8.3f}s "
+            f"({speedup:5.1f}x) over {comp.n_probes} probes, "
+            f"identical={identical}",
+            file=sys.stderr if args.json == "-" else sys.stdout,
+        )
+    if args.json:
+        _emit_json({"rows": rows, "identical_all": ok}, args.json)
+    return 0 if ok else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    with open(args.file) as fh:
+        data = json.load(fh)
+    if "results" in data:
+        campaign = CampaignResult.from_dict(data)
+        results = campaign.results
+    else:
+        results = [RunResult.from_dict(data)]
+    header = (
+        f"{'design':<10} {'strategy':<12} {'engine':<12} "
+        f"{'error':<24} {'det':<5} {'loc':<5} {'fix':<5} "
+        f"{'probes':>6} {'commits':>7} {'work units':>11} {'wall s':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for r in results:
+        work = r.effort.get("debug", {}).get("work_units", 0.0)
+        print(
+            f"{r.design:<10} {r.strategy:<12} {r.engine:<12} "
+            f"{r.error_kind + '@' + r.error_instance:<24} "
+            f"{str(r.detected):<5} {str(r.localized):<5} "
+            f"{str(r.fixed):<5} {r.n_probes:>6} {r.n_commits:>7} "
+            f"{work:>11.0f} {r.wall_seconds:>8.2f}"
+        )
+    if "results" in data:
+        print(
+            f"\n{campaign.n_runs} runs, {campaign.n_detected} detected, "
+            f"{campaign.n_localized} localized, {campaign.n_fixed} fixed"
+        )
+        if campaign.cache is not None:
+            print(
+                "tile cache: {hits:.0f} hits / {misses:.0f} misses "
+                "(hit rate {hit_rate:.2f})".format(**campaign.cache)
+            )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="FPGA debug-pipeline facade (detect -> localize -> "
+                    "correct -> verify)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="one spec through the pipeline")
+    _add_spec_arguments(p_run)
+    p_run.add_argument("--json", metavar="PATH|-",
+                       help="write the RunResult JSON ('-' = stdout)")
+    p_run.add_argument("--verbose", action="store_true")
+    p_run.set_defaults(func=cmd_run)
+
+    p_camp = sub.add_parser("campaign",
+                            help="a spec matrix through the pipeline")
+    _add_spec_arguments(p_camp)
+    p_camp.add_argument("--designs", help="comma-separated design names")
+    p_camp.add_argument("--strategies", help="comma-separated strategies")
+    p_camp.add_argument("--engines", help="comma-separated engines")
+    p_camp.add_argument("--error-kinds", dest="error_kinds",
+                        help="comma-separated error kinds")
+    p_camp.add_argument("--error-seeds", dest="error_seeds",
+                        help="comma-separated error seeds")
+    p_camp.add_argument("--seeds", help="comma-separated campaign seeds")
+    p_camp.add_argument("--workers", type=int, default=1)
+    p_camp.add_argument("--out", metavar="PATH|-",
+                        help="write the campaign results JSON")
+    p_camp.add_argument("--verbose", action="store_true")
+    p_camp.set_defaults(func=cmd_campaign)
+
+    p_bench = sub.add_parser(
+        "bench", help="compare both engines on the same campaign"
+    )
+    _add_spec_arguments(p_bench)
+    p_bench.add_argument("--designs", help="comma-separated design names")
+    p_bench.add_argument("--json", metavar="PATH|-")
+    p_bench.set_defaults(func=cmd_bench)
+
+    p_rep = sub.add_parser("report", help="pretty-print a results JSON")
+    p_rep.add_argument("file", help="path written by run/campaign --json")
+    p_rep.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, ValueError) as exc:
+        # bad spec fields, malformed CSV values, bad worker counts —
+        # all user input; fail fast without a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

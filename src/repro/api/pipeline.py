@@ -1,0 +1,318 @@
+"""The staged debug pipeline behind every entry point.
+
+The paper's flow is four stages over one shared :class:`RunContext`:
+
+* :class:`DetectStage` — inject the error, build the initial
+  implementation, emulate against the golden model (steps 1-3, 21);
+* :class:`LocalizeStage` — tile (steps 4-8), then cone bisection with
+  observation-point commits (steps 16-19);
+* :class:`CorrectStage` — back-annotate the fix and commit it
+  (steps 11-15, 20);
+* :class:`VerifyStage` — re-emulate; the fix must clear every mismatch.
+
+`EmulationDebugSession.run`, the `python -m repro` CLI, and the
+campaign runner all execute these same stage objects, which is what
+keeps the legacy entry points bit-identical to the facade: there is
+only one implementation of the loop.
+
+Observers subclass :class:`PipelineHooks` and receive
+``on_stage_start`` / ``on_stage_end`` / ``on_probe`` / ``on_commit``
+events, so progress reporting, benchmarks, and tests no longer reach
+into strategy or localizer internals.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.arch.device import Device
+from repro.debug.correct import apply_correction
+from repro.debug.detect import Mismatch, detect_on_layout
+from repro.debug.errors import ErrorRecord, inject_error
+from repro.debug.localize import ConeLocalizer, LocalizationResult
+from repro.debug.strategies import BaseStrategy, make_strategy
+from repro.debug.testgen import random_stimulus
+from repro.netlist.core import Netlist
+from repro.netlist.validate import check_netlist
+from repro.pnr.effort import EffortMeter
+from repro.synth.pack import PackedDesign, refresh_block_nets
+from repro.tiling.cache import DEFAULT_TILE_CACHE, TileConfigCache
+from repro.tiling.eco import ChangeSet
+
+#: sentinel for "resolve the tile cache from the spec's policy"
+_UNSET = object()
+
+
+class PipelineHooks:
+    """Observer base class — subclass and override what you need."""
+
+    def on_stage_start(self, stage: "Stage", ctx: "RunContext") -> None:
+        """A stage is about to run."""
+
+    def on_stage_end(self, stage: "Stage", ctx: "RunContext",
+                     seconds: float) -> None:
+        """A stage finished (``seconds`` of wall clock)."""
+
+    def on_probe(self, ctx: "RunContext", step) -> None:
+        """One localization probe got its verdict (a ``ProbeStep``)."""
+
+    def on_commit(self, ctx: "RunContext", record) -> None:
+        """A physical-design commit landed (a ``CommitRecord``)."""
+
+
+@dataclass
+class RunContext:
+    """Shared state the stages read and grow.
+
+    Construction fields mirror the historical session/run signatures;
+    result fields are filled in stage order.
+    """
+
+    packed: PackedDesign
+    device: Device
+    golden: Netlist
+    strategy: BaseStrategy
+    engine: str = "compiled"
+    seed: int = 1
+    n_patterns: int = 64
+    n_cycles: int = 8
+    error_kind: str = "table_bit"
+    error_seed: int = 0
+    max_probes: int = 8
+    goal_size: int = 4
+    spec: object | None = None
+
+    # -- produced by the stages ---------------------------------------
+    error: ErrorRecord | None = None
+    initial_effort: EffortMeter = field(default_factory=EffortMeter)
+    stimulus: list | None = None
+    mismatches: list[Mismatch] = field(default_factory=list)
+    detected: bool = False
+    localization: LocalizationResult | None = None
+    localized_correctly: bool = False
+    fix: ChangeSet | None = None
+    remaining: list[Mismatch] = field(default_factory=list)
+    fixed: bool = False
+    notes: list[str] = field(default_factory=list)
+    #: per-stage wall-clock seconds, keyed by stage name
+    stage_seconds: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_spec(cls, spec, tile_cache=_UNSET) -> "RunContext":
+        """Materialize a context: build the design, device, strategy."""
+        from repro.api.design import device_for, load_bundle
+
+        if tile_cache is _UNSET:
+            tile_cache = resolve_tile_cache(spec)
+        bundle = load_bundle(spec)
+        packed = bundle.packed
+        device = device_for(
+            packed, device=spec.device, channel_width=spec.channel_width,
+            area_overhead=spec.device_overhead,
+        )
+        golden = packed.netlist.copy(f"{packed.netlist.name}.golden")
+        strategy = make_strategy(
+            spec.strategy, packed, device, seed=spec.seed,
+            preset=spec.effort_preset(), tiling=spec.tiling_options(),
+            tile_cache=tile_cache,
+        )
+        return cls(
+            packed=packed, device=device, golden=golden, strategy=strategy,
+            engine=spec.engine, seed=spec.seed,
+            n_patterns=spec.n_patterns, n_cycles=spec.n_cycles,
+            error_kind=spec.error_kind, error_seed=spec.error_seed,
+            max_probes=spec.max_probes, goal_size=spec.goal_size,
+            spec=spec,
+        )
+
+    def detect(self) -> list[Mismatch]:
+        """Golden-vs-layout comparison on the current stimulus."""
+        return detect_on_layout(
+            self.strategy.layout, self.golden, self.stimulus,
+            self.n_patterns, engine=self.engine,
+        )
+
+
+def resolve_tile_cache(spec) -> TileConfigCache | None:
+    """Map a spec's cache policy onto a cache object (or None)."""
+    if spec.cache == "off":
+        return None
+    if spec.cache == "private":
+        return TileConfigCache()
+    return DEFAULT_TILE_CACHE
+
+
+class Stage:
+    """One pipeline stage: a name and a ``run(ctx, hooks)``."""
+
+    name = "stage"
+
+    def run(self, ctx: RunContext, hooks: PipelineHooks) -> None:
+        raise NotImplementedError
+
+
+class DetectStage(Stage):
+    """Inject, implement, emulate: does the design misbehave at all?"""
+
+    name = "detect"
+
+    def run(self, ctx: RunContext, hooks: PipelineHooks) -> None:
+        netlist = ctx.packed.netlist
+        ctx.error = inject_error(netlist, ctx.error_kind,
+                                 seed=ctx.error_seed)
+        check_netlist(netlist)
+        refresh_block_nets(ctx.packed)
+
+        ctx.strategy.build_initial(meter=ctx.initial_effort)
+
+        ctx.stimulus = random_stimulus(
+            ctx.golden, ctx.n_cycles, ctx.n_patterns, seed=ctx.seed
+        )
+        mismatches = ctx.detect()
+        if not mismatches:
+            # widen the net: longer run, more patterns
+            ctx.notes.append("first stimulus missed the error; widened")
+            ctx.stimulus = random_stimulus(
+                ctx.golden, ctx.n_cycles * 4, ctx.n_patterns,
+                seed=ctx.seed + 1,
+            )
+            mismatches = ctx.detect()
+        ctx.mismatches = mismatches
+        ctx.detected = bool(mismatches)
+        if not ctx.detected:
+            ctx.notes.append("error never excited; not a functional bug")
+
+
+class LocalizeStage(Stage):
+    """Cone bisection over observation-point commits (steps 16-19)."""
+
+    name = "localize"
+
+    def run(self, ctx: RunContext, hooks: PipelineHooks) -> None:
+        if not ctx.detected:
+            return
+        # steps 4-8: the tiled strategy locks its boundaries now
+        ctx.strategy.prepare_for_debug()
+        localizer = ConeLocalizer(
+            ctx.strategy, ctx.golden, ctx.stimulus, ctx.n_patterns,
+            goal_size=ctx.goal_size, engine=ctx.engine,
+        )
+        ctx.localization = localizer.run(
+            ctx.mismatches, max_probes=ctx.max_probes,
+            on_probe=lambda step: hooks.on_probe(ctx, step),
+        )
+        assert ctx.error is not None
+        ctx.localized_correctly = (
+            ctx.error.instance in ctx.localization.candidates
+        )
+
+
+class CorrectStage(Stage):
+    """Back-annotate the designer's fix and commit it (steps 11-15)."""
+
+    name = "correct"
+
+    def run(self, ctx: RunContext, hooks: PipelineHooks) -> None:
+        if not ctx.detected:
+            return
+        assert ctx.error is not None
+        netlist = ctx.packed.netlist
+        ctx.fix = apply_correction(netlist, ctx.error)
+        check_netlist(netlist)
+        ctx.strategy.commit(ctx.fix, anchor_instance=ctx.error.instance)
+
+
+class VerifyStage(Stage):
+    """Re-emulate; the fix must clear every mismatch (step 21)."""
+
+    name = "verify"
+
+    def run(self, ctx: RunContext, hooks: PipelineHooks) -> None:
+        if not ctx.detected:
+            return
+        ctx.remaining = ctx.detect()
+        ctx.fixed = not ctx.remaining
+        if not ctx.fixed:
+            ctx.notes.append(
+                f"{len(ctx.remaining)} mismatches persist after fix"
+            )
+
+
+def default_stages() -> tuple[Stage, ...]:
+    return (DetectStage(), LocalizeStage(), CorrectStage(), VerifyStage())
+
+
+class DebugPipeline:
+    """Runs stages over a context, timing each and firing hooks."""
+
+    def __init__(self, stages: tuple[Stage, ...] | None = None,
+                 hooks: PipelineHooks | None = None) -> None:
+        self.stages = tuple(stages) if stages is not None else default_stages()
+        self.hooks = hooks or PipelineHooks()
+
+    def execute(self, ctx: RunContext) -> RunContext:
+        hooks = self.hooks
+        previous_listener = ctx.strategy.commit_listener
+        ctx.strategy.commit_listener = (
+            lambda record: hooks.on_commit(ctx, record)
+        )
+        try:
+            for stage in self.stages:
+                hooks.on_stage_start(stage, ctx)
+                t0 = time.perf_counter()
+                stage.run(ctx, hooks)
+                seconds = time.perf_counter() - t0
+                ctx.stage_seconds[stage.name] = seconds
+                hooks.on_stage_end(stage, ctx, seconds)
+        finally:
+            ctx.strategy.commit_listener = previous_listener
+        return ctx
+
+
+def run_spec(spec, hooks: PipelineHooks | None = None,
+             tile_cache=_UNSET, return_context: bool = False):
+    """The facade: one spec in, one JSON-ready result out.
+
+    Builds the design, runs the four stages, and packages a
+    :class:`~repro.api.result.RunResult`.  With ``return_context`` the
+    materialized :class:`RunContext` is returned alongside for callers
+    that need live objects (layout legality checks, benchmarks).
+    """
+    from repro.api.result import RunResult
+    from repro.tiling.cache import (
+        load_tile_cache,
+        save_tile_cache,
+        stats_delta,
+    )
+
+    # cache-dir persistence and the per-run stats delta only make sense
+    # when this run owns its cache; a caller-supplied cache (e.g. the
+    # campaign runner's, shared across concurrent workers) is loaded,
+    # saved, and accounted at the caller's level instead
+    owns_cache = tile_cache is _UNSET
+    if owns_cache:
+        tile_cache = resolve_tile_cache(spec)
+        if spec.cache_dir is not None and tile_cache is not None:
+            load_tile_cache(spec.cache_dir, tile_cache)
+
+    cache_before = (
+        tile_cache.stats()
+        if owns_cache and tile_cache is not None else None
+    )
+    t0 = time.perf_counter()
+    ctx = RunContext.from_spec(spec, tile_cache=tile_cache)
+    DebugPipeline(hooks=hooks).execute(ctx)
+    wall = time.perf_counter() - t0
+
+    cache_delta = None
+    if cache_before is not None:
+        cache_delta = stats_delta(cache_before, tile_cache.stats())
+        if spec.cache_dir is not None:
+            save_tile_cache(tile_cache, spec.cache_dir)
+
+    result = RunResult.from_context(ctx, wall_seconds=wall,
+                                    cache=cache_delta)
+    if return_context:
+        return result, ctx
+    return result

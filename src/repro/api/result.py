@@ -1,0 +1,149 @@
+"""`RunResult` — the JSON-serializable outcome of one pipeline run.
+
+Everything a benchmark, a campaign aggregator, or a later process needs
+from a finished run, in plain-JSON types: verdict flags, the final
+candidate set, the full probe trajectory, per-stage and per-phase
+timings, effort snapshots, and the tile-cache delta.  ``to_dict`` /
+``from_dict`` round-trip every field, so results files written by
+`python -m repro campaign` can be re-loaded and re-analyzed without the
+objects that produced them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+
+
+@dataclass
+class RunResult:
+    """One run's serializable outcome (see module docstring)."""
+
+    #: the spec that produced this run (``RunSpec.to_dict`` form)
+    spec: dict | None = None
+    design: str = ""
+    strategy: str = ""
+    engine: str = ""
+    error_kind: str = ""
+    error_instance: str = ""
+    error_detail: str = ""
+    detected: bool = False
+    #: the injected error's instance is inside the final candidate set
+    localized: bool = False
+    fixed: bool = False
+    #: final candidate instances, sorted
+    candidates: list = field(default_factory=list)
+    #: per-probe records: probe / mismatch / candidates before & after
+    probe_trajectory: list = field(default_factory=list)
+    n_probes: int = 0
+    n_commits: int = 0
+    n_commit_cache_hits: int = 0
+    #: {"stages": {stage: seconds}, "localization": {phase: seconds}}
+    timings: dict = field(default_factory=dict)
+    #: {"initial": EffortMeter.snapshot(), "debug": ...}
+    effort: dict = field(default_factory=dict)
+    #: tile-cache counter delta over this run (None when cache is off)
+    cache: dict | None = None
+    notes: list = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_context(cls, ctx, wall_seconds: float = 0.0,
+                     cache: dict | None = None) -> "RunResult":
+        """Package a finished :class:`~repro.api.pipeline.RunContext`."""
+        loc = ctx.localization
+        trajectory = []
+        loc_timings: dict = {}
+        candidates: list = []
+        if loc is not None:
+            trajectory = [
+                {
+                    "probe": s.probe_instance,
+                    "mismatch": s.mismatch,
+                    "candidates_before": s.candidates_before,
+                    "candidates_after": s.candidates_after,
+                }
+                for s in loc.steps
+            ]
+            loc_timings = {k: round(v, 6) for k, v in loc.timings.items()}
+            candidates = sorted(loc.candidates)
+        spec_dict = None
+        design = ctx.packed.netlist.name
+        if ctx.spec is not None:
+            spec_dict = ctx.spec.to_dict()
+            design = ctx.spec.design_label
+        return cls(
+            spec=spec_dict,
+            design=design,
+            strategy=ctx.strategy.name,
+            engine=ctx.engine,
+            error_kind=ctx.error.kind if ctx.error else "",
+            error_instance=ctx.error.instance if ctx.error else "",
+            error_detail=ctx.error.detail if ctx.error else "",
+            detected=ctx.detected,
+            localized=ctx.localized_correctly,
+            fixed=ctx.fixed,
+            candidates=candidates,
+            probe_trajectory=trajectory,
+            n_probes=loc.n_probes if loc is not None else 0,
+            n_commits=len(ctx.strategy.commit_history),
+            n_commit_cache_hits=ctx.strategy.cache_hits,
+            timings={
+                "stages": {
+                    k: round(v, 6) for k, v in ctx.stage_seconds.items()
+                },
+                "localization": loc_timings,
+            },
+            effort={
+                "initial": ctx.initial_effort.snapshot(),
+                "debug": ctx.strategy.total_effort.snapshot(),
+            },
+            cache=cache,
+            notes=list(ctx.notes),
+            wall_seconds=round(wall_seconds, 6),
+        )
+
+    # -- derived views -------------------------------------------------
+
+    @property
+    def localization_seconds(self) -> float:
+        """Localization compute time — everything but the P&R commits."""
+        loc = self.timings.get("localization", {})
+        return sum(v for k, v in loc.items() if k != "commit")
+
+    @property
+    def commit_seconds(self) -> float:
+        return self.timings.get("localization", {}).get("commit", 0.0)
+
+    def trajectory_key(self) -> list:
+        """Hashable probe-trajectory view for bit-identity comparisons."""
+        return [
+            (p["probe"], p["mismatch"], p["candidates_before"],
+             p["candidates_after"])
+            for p in self.probe_trajectory
+        ]
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown result fields {unknown}; valid fields: "
+                + ", ".join(sorted(known))
+            )
+        return cls(**data)
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,231 @@
+"""`RunSpec` — the serializable definition of one debug run.
+
+A spec captures *everything* that determines a campaign's outcome:
+which design (registry benchmark, parameterized generator, or BLIF
+file), which device and effort preset, the injected error model, the
+simulation engine, the back-end strategy, probe budget, seeds, and the
+tile-configuration cache policy.  Two processes handed equal specs
+compute bit-identical candidates and probe trajectories.
+
+Specs are frozen, JSON-round-trippable (`to_dict` / `from_dict` /
+`to_json` / `from_json`), and validated eagerly: a bad field raises
+:class:`repro.errors.SpecError` (a :class:`ValueError`) naming the
+field and the legal values, so the CLI and campaign files fail fast
+instead of mid-run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+
+from repro.arch.device import XC4000_FAMILY
+from repro.debug.errors import ERROR_KINDS
+from repro.debug.strategies import STRATEGY_REGISTRY
+from repro.errors import SpecError
+from repro.pnr.effort import EFFORT_PRESETS
+
+ENGINE_NAMES = ("compiled", "interpreted")
+CACHE_POLICIES = ("shared", "private", "off")
+
+_DEVICE_NAMES = tuple(spec.name for spec in XC4000_FAMILY)
+
+#: keys accepted in the ``tiling`` sub-dict (TilingOptions fields)
+_TILING_KEYS = (
+    "n_tiles", "tile_clbs", "tile_fraction", "area_overhead",
+    "min_tile_side", "refine_passes",
+)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything that defines one detect→localize→correct→verify run.
+
+    Defaults mirror the historical `EmulationDebugSession` defaults so
+    a default-constructed spec reproduces the legacy entry points
+    bit-for-bit.
+    """
+
+    #: registry benchmark name (see :func:`repro.generators.build_design`)
+    #: or, with ``design_params``, a parameterized generator name
+    design: str = "s9234"
+    #: seed handed to the design generator
+    design_seed: int = 0
+    #: optional generator kwargs (enables non-registry variants, e.g. a
+    #: reduced 2-round DES); ``None`` means "registry design as published"
+    design_params: dict | None = None
+    #: path to a BLIF netlist; overrides ``design``/``design_params``
+    blif_path: str | None = None
+    #: XC4000 family member name; ``None`` auto-picks the smallest fit
+    device: str | None = None
+    #: routing channel width override (``None`` = family default)
+    channel_width: int | None = None
+    #: device slack used by the auto-pick (the session's historical 0.35)
+    device_overhead: float = 0.35
+    #: back-end strategy (see ``repro.debug.STRATEGY_REGISTRY``)
+    strategy: str = "tiled"
+    #: effort preset name (see ``repro.pnr.effort.EFFORT_PRESETS``)
+    preset: str = "normal"
+    #: combinational engine: "compiled" or "interpreted"
+    engine: str = "compiled"
+    #: campaign seed (stimulus, P&R move sequences)
+    seed: int = 1
+    n_patterns: int = 64
+    n_cycles: int = 8
+    #: injected error model (see ``repro.debug.ERROR_KINDS``)
+    error_kind: str = "table_bit"
+    error_seed: int = 0
+    max_probes: int = 8
+    goal_size: int = 4
+    #: TilingOptions overrides as a plain dict, e.g. ``{"n_tiles": 10}``
+    tiling: dict | None = None
+    #: tile-configuration cache policy: "shared" (process-wide default
+    #: cache), "private" (a cache isolated from the rest of the
+    #: process: fresh per `run_spec` call, one campaign-local cache
+    #: inside a `CampaignRunner` — use "off" for fully cold runs), or
+    #: "off" (no cache)
+    cache: str = "shared"
+    #: directory for cross-process cache persistence (``--cache-dir``)
+    cache_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- validation ----------------------------------------------------
+
+    def validate(self) -> None:
+        from repro.api.design import GENERATOR_BUILDERS
+        from repro.generators.registry import PAPER_DESIGNS
+
+        if self.blif_path is None:
+            if self.design_params is None:
+                if self.design not in PAPER_DESIGNS:
+                    raise SpecError(
+                        f"unknown design {self.design!r}; known designs: "
+                        + ", ".join(PAPER_DESIGNS)
+                    )
+            else:
+                if not isinstance(self.design_params, dict):
+                    raise SpecError("design_params must be a dict or null")
+                if self.design not in GENERATOR_BUILDERS:
+                    raise SpecError(
+                        f"design {self.design!r} does not accept "
+                        "design_params; parameterizable generators: "
+                        + ", ".join(sorted(GENERATOR_BUILDERS))
+                    )
+                import inspect
+
+                accepted = inspect.signature(
+                    GENERATOR_BUILDERS[self.design]
+                ).parameters
+                unknown = sorted(set(self.design_params) - set(accepted))
+                if unknown:
+                    raise SpecError(
+                        f"design_params {unknown} not accepted by "
+                        f"generator {self.design!r}; accepted: "
+                        + ", ".join(accepted)
+                    )
+        if self.device is not None and self.device not in _DEVICE_NAMES:
+            raise SpecError(
+                f"unknown device {self.device!r}; family members: "
+                + ", ".join(_DEVICE_NAMES)
+            )
+        if self.strategy not in STRATEGY_REGISTRY:
+            raise SpecError(
+                f"unknown strategy {self.strategy!r}; valid strategies: "
+                + ", ".join(sorted(STRATEGY_REGISTRY))
+            )
+        if self.preset not in EFFORT_PRESETS:
+            raise SpecError(
+                f"unknown preset {self.preset!r}; valid presets: "
+                + ", ".join(EFFORT_PRESETS)
+            )
+        if self.engine not in ENGINE_NAMES:
+            raise SpecError(
+                f"unknown engine {self.engine!r}; valid engines: "
+                + ", ".join(ENGINE_NAMES)
+            )
+        if self.error_kind not in ERROR_KINDS:
+            raise SpecError(
+                f"unknown error kind {self.error_kind!r}; valid kinds: "
+                + ", ".join(ERROR_KINDS)
+            )
+        if self.cache not in CACHE_POLICIES:
+            raise SpecError(
+                f"unknown cache policy {self.cache!r}; valid policies: "
+                + ", ".join(CACHE_POLICIES)
+            )
+        if self.tiling is not None:
+            if not isinstance(self.tiling, dict):
+                raise SpecError("tiling must be a dict or null")
+            unknown = sorted(set(self.tiling) - set(_TILING_KEYS))
+            if unknown:
+                raise SpecError(
+                    f"unknown tiling keys {unknown}; valid keys: "
+                    + ", ".join(_TILING_KEYS)
+                )
+        for name, value, floor in (
+            ("n_patterns", self.n_patterns, 1),
+            ("n_cycles", self.n_cycles, 1),
+            ("max_probes", self.max_probes, 0),
+            ("goal_size", self.goal_size, 1),
+        ):
+            if not isinstance(value, int) or value < floor:
+                raise SpecError(f"{name} must be an int >= {floor}")
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A plain-JSON dict; ``from_dict`` inverts it field-for-field."""
+        out: dict = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = dict(value) if isinstance(value, dict) else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        if not isinstance(data, dict):
+            raise SpecError(f"spec must be a JSON object, got {type(data)}")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SpecError(
+                f"unknown spec fields {unknown}; valid fields: "
+                + ", ".join(sorted(known))
+            )
+        return cls(**data)
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        return cls.from_dict(json.loads(text))
+
+    # -- derived views -------------------------------------------------
+
+    def replaced(self, **overrides) -> "RunSpec":
+        """A copy with the given fields replaced (re-validated)."""
+        data = self.to_dict()
+        data.update(overrides)
+        return RunSpec.from_dict(data)
+
+    def tiling_options(self):
+        """The :class:`~repro.tiling.partition.TilingOptions` or None."""
+        from repro.tiling.partition import TilingOptions
+
+        if self.tiling is None:
+            return None
+        return TilingOptions(**self.tiling)
+
+    def effort_preset(self):
+        return EFFORT_PRESETS[self.preset]
+
+    @property
+    def design_label(self) -> str:
+        if self.blif_path is not None:
+            import os
+
+            return os.path.splitext(os.path.basename(self.blif_path))[0]
+        return self.design

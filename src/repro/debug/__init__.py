@@ -29,13 +29,21 @@ from repro.debug.detect import Mismatch, compare_runs
 from repro.debug.localize import ConeLocalizer
 from repro.debug.correct import apply_correction
 from repro.debug.strategies import (
+    STRATEGY_NAMES,
+    STRATEGY_REGISTRY,
+    BaseStrategy,
+    CommitRecord,
     FullStrategy,
     IncrementalStrategy,
     QuickEcoStrategy,
     TiledStrategy,
     make_strategy,
 )
-from repro.debug.session import DebugReport, EmulationDebugSession
+from repro.debug.session import (
+    DebugReport,
+    EmulationDebugSession,
+    run_campaign,
+)
 
 __all__ = [
     "ERROR_KINDS",
@@ -50,11 +58,16 @@ __all__ = [
     "compare_runs",
     "ConeLocalizer",
     "apply_correction",
+    "BaseStrategy",
+    "CommitRecord",
     "FullStrategy",
     "IncrementalStrategy",
     "QuickEcoStrategy",
+    "STRATEGY_NAMES",
+    "STRATEGY_REGISTRY",
     "TiledStrategy",
     "make_strategy",
     "DebugReport",
     "EmulationDebugSession",
+    "run_campaign",
 ]

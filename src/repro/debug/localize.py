@@ -166,13 +166,18 @@ class ConeLocalizer:
     # ------------------------------------------------------------------
 
     def run(
-        self, mismatches: list[Mismatch], max_probes: int = 8
+        self,
+        mismatches: list[Mismatch],
+        max_probes: int = 8,
+        on_probe=None,
     ) -> LocalizationResult:
         """One probe loop, two candidate representations.
 
         The loop body (commit, emulate, verdict, bookkeeping) is shared;
         only the candidate-set operations differ per engine, which is
         what keeps the two engines bit-identical by construction.
+        ``on_probe``, when given, is called with each finished
+        :class:`ProbeStep` — the pipeline's progress hook.
         """
         timings = {"seed": 0.0, "pick": 0.0, "emulate": 0.0, "commit": 0.0}
         netlist = self.strategy.packed.netlist
@@ -223,7 +228,10 @@ class ConeLocalizer:
 
             ops.apply_verdict(probe, mismatch)
             after = ops.count()
-            result.steps.append(ProbeStep(probe, mismatch, before, after))
+            step = ProbeStep(probe, mismatch, before, after)
+            result.steps.append(step)
+            if on_probe is not None:
+                on_probe(step)
             if after == 0:
                 raise DebugFlowError(
                     "localization eliminated every candidate "

@@ -1,5 +1,13 @@
 """The emulation debug loop — the paper's pseudo-code, steps 1-22.
 
+.. deprecated:: PR 3
+   :class:`EmulationDebugSession` and :func:`run_campaign` are retained
+   shims over the staged pipeline in :mod:`repro.api` — prefer
+   :class:`repro.api.RunSpec` + :func:`repro.api.run_spec` (one run) or
+   :class:`repro.api.CampaignRunner` (many runs).  The shims execute
+   the *same* stage objects, so their candidates, probe trajectories,
+   and effort meters stay bit-identical to the facade.
+
 :class:`EmulationDebugSession` drives a complete campaign against one
 injected design error:
 
@@ -26,17 +34,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.arch.device import Device, pick_device
-from repro.debug.correct import apply_correction
-from repro.debug.detect import Mismatch, detect_on_layout
-from repro.debug.errors import ErrorRecord, inject_error
-from repro.debug.localize import ConeLocalizer, LocalizationResult
+from repro.debug.errors import ErrorRecord
+from repro.debug.localize import LocalizationResult
 from repro.debug.strategies import BaseStrategy, make_strategy
-from repro.debug.testgen import random_stimulus
 from repro.errors import DebugFlowError
 from repro.netlist.core import Netlist
-from repro.netlist.validate import check_netlist
 from repro.pnr.effort import EffortMeter, EffortPreset, EFFORT_PRESETS
-from repro.synth.pack import PackedDesign, refresh_block_nets
+from repro.synth.pack import PackedDesign
 from repro.tiling.cache import DEFAULT_TILE_CACHE
 from repro.tiling.partition import TilingOptions
 
@@ -61,7 +65,12 @@ class DebugReport:
 
 
 class EmulationDebugSession:
-    """One design, one strategy, one error — run the loop end to end."""
+    """One design, one strategy, one error — run the loop end to end.
+
+    A thin shim over :class:`repro.api.DebugPipeline`: :meth:`run`
+    materializes a :class:`repro.api.RunContext` from the session's
+    state and executes the shared stage objects.
+    """
 
     def __init__(
         self,
@@ -106,85 +115,61 @@ class EmulationDebugSession:
         error_seed: int = 0,
         max_probes: int = 8,
         goal_size: int = 4,
+        hooks=None,
     ) -> DebugReport:
-        """Inject, detect, localize, correct, verify; return the report."""
-        netlist = self.packed.netlist
-        record = inject_error(netlist, error_kind, seed=error_seed)
-        check_netlist(netlist)
-        refresh_block_nets(self.packed)
+        """Inject, detect, localize, correct, verify; return the report.
 
-        initial_meter = EffortMeter()
-        self.strategy.build_initial(meter=initial_meter)
+        ``hooks`` is an optional :class:`repro.api.PipelineHooks`
+        observer (stage, probe, and commit events).
+        """
+        from repro.api.pipeline import DebugPipeline, RunContext
 
-        stimulus = random_stimulus(
-            self.golden, self.n_cycles, self.n_patterns, seed=self.seed
+        ctx = RunContext(
+            packed=self.packed,
+            device=self.device,
+            golden=self.golden,
+            strategy=self.strategy,
+            engine=self.engine,
+            seed=self.seed,
+            n_patterns=self.n_patterns,
+            n_cycles=self.n_cycles,
+            error_kind=error_kind,
+            error_seed=error_seed,
+            max_probes=max_probes,
+            goal_size=goal_size,
         )
-        mismatches = self._detect(stimulus)
-        notes: list[str] = []
-        if not mismatches:
-            # widen the net: longer run, more patterns
-            notes.append("first stimulus missed the error; widened")
-            stimulus = random_stimulus(
-                self.golden, self.n_cycles * 4, self.n_patterns,
-                seed=self.seed + 1,
-            )
-            mismatches = self._detect(stimulus)
-        if not mismatches:
-            return DebugReport(
-                design=netlist.name,
-                strategy=self.strategy.name,
-                error=record,
-                detected=False,
-                localization=None,
-                localized_correctly=False,
-                fixed=False,
-                n_commits=0,
-                total_effort=self.strategy.total_effort,
-                initial_effort=initial_meter,
-                notes=notes + ["error never excited; not a functional bug"],
-            )
-
-        # steps 4-8: the tiled strategy locks its boundaries now
-        self.strategy.prepare_for_debug()
-
-        localizer = ConeLocalizer(
-            self.strategy, self.golden, stimulus, self.n_patterns,
-            goal_size=goal_size, engine=self.engine,
-        )
-        localization = localizer.run(mismatches, max_probes=max_probes)
-        localized = record.instance in localization.candidates
-
-        fix = apply_correction(netlist, record)
-        check_netlist(netlist)
-        self.strategy.commit(fix, anchor_instance=record.instance)
-
-        remaining = self._detect(stimulus)
-        fixed = not remaining
-        if not fixed:
-            notes.append(f"{len(remaining)} mismatches persist after fix")
-
-        return DebugReport(
-            design=netlist.name,
-            strategy=self.strategy.name,
-            error=record,
-            detected=True,
-            localization=localization,
-            localized_correctly=localized,
-            fixed=fixed,
-            n_commits=len(self.strategy.commit_history),
-            total_effort=self.strategy.total_effort,
-            initial_effort=initial_meter,
-            notes=notes,
-            n_commit_cache_hits=self.strategy.cache_hits,
-        )
+        DebugPipeline(hooks=hooks).execute(ctx)
+        return report_from_context(ctx)
 
     # ------------------------------------------------------------------
 
-    def _detect(self, stimulus) -> list[Mismatch]:
+    def _detect(self, stimulus):
+        """Retained for callers poking the detection step directly."""
+        from repro.debug.detect import detect_on_layout
+
         return detect_on_layout(
             self.strategy.layout, self.golden, stimulus, self.n_patterns,
             engine=self.engine,
         )
+
+
+def report_from_context(ctx) -> DebugReport:
+    """The legacy :class:`DebugReport` view of a finished pipeline run."""
+    assert ctx.error is not None
+    return DebugReport(
+        design=ctx.packed.netlist.name,
+        strategy=ctx.strategy.name,
+        error=ctx.error,
+        detected=ctx.detected,
+        localization=ctx.localization,
+        localized_correctly=ctx.localized_correctly,
+        fixed=ctx.fixed,
+        n_commits=len(ctx.strategy.commit_history),
+        total_effort=ctx.strategy.total_effort,
+        initial_effort=ctx.initial_effort,
+        notes=list(ctx.notes),
+        n_commit_cache_hits=ctx.strategy.cache_hits,
+    )
 
 
 def run_campaign(
@@ -198,6 +183,11 @@ def run_campaign(
     n_patterns: int = 64,
 ) -> dict[str, DebugReport]:
     """Run the identical debug campaign under several strategies.
+
+    .. deprecated:: PR 3
+       Prefer :class:`repro.api.CampaignRunner` over a strategy matrix
+       from :func:`repro.api.expand_matrix`; this shim drives the same
+       pipeline stages and stays bit-identical.
 
     ``packed_factory`` must build a *fresh* packed design per call —
     each strategy mutates its own netlist copy.

@@ -23,8 +23,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Callable
+
 from repro.arch.device import Device
-from repro.errors import DebugFlowError
+from repro.errors import DebugFlowError, UnknownStrategyError
 from repro.pnr.effort import EffortMeter, EffortPreset, EFFORT_PRESETS
 from repro.pnr.flow import Layout, full_place_and_route, incremental_update
 from repro.rng import derive_seed
@@ -37,9 +39,6 @@ from repro.tiling.cache import (
 from repro.tiling.eco import ChangeSet
 from repro.tiling.manager import TiledLayout
 from repro.tiling.partition import TilingOptions
-
-STRATEGY_NAMES = ("tiled", "quick_eco", "incremental", "full")
-
 
 @dataclass
 class CommitRecord:
@@ -94,6 +93,9 @@ class BaseStrategy:
         self.commit_history: list[CommitRecord] = []
         #: commits served from the tile-configuration cache (tiled only)
         self.cache_hits = 0
+        #: observer called with each :class:`CommitRecord` as it lands —
+        #: the pipeline's ``on_commit`` hook attaches here
+        self.commit_listener: Callable[[CommitRecord], None] | None = None
         self._commit_count = 0
         self._layout: Layout | None = None
 
@@ -130,6 +132,11 @@ class BaseStrategy:
     def commit(self, changes: ChangeSet, anchor_instance: str | None = None
                ) -> EffortMeter:
         raise NotImplementedError
+
+    def _record_commit(self, record: CommitRecord) -> None:
+        self.commit_history.append(record)
+        if self.commit_listener is not None:
+            self.commit_listener(record)
 
     @property
     def total_effort(self) -> EffortMeter:
@@ -178,7 +185,7 @@ class TiledStrategy(BaseStrategy):
         if report.cache_hit:
             self.cache_hits += 1
             detail += " (cached config)"
-        self.commit_history.append(
+        self._record_commit(
             CommitRecord(changes.description, report.effort, detail=detail)
         )
         return report.effort
@@ -201,7 +208,7 @@ class QuickEcoStrategy(BaseStrategy):
             self.packed, self.device, seed=self._next_seed(),
             preset=self.preset, meter=meter, strict_routing=False,
         )
-        self.commit_history.append(
+        self._record_commit(
             CommitRecord(changes.description, meter, detail="whole block")
         )
         return meter
@@ -240,10 +247,22 @@ class IncrementalStrategy(BaseStrategy):
             seed=self._next_seed(), preset=self.preset, meter=meter,
             extra_nets=net_ids,
         )
-        self.commit_history.append(
+        self._record_commit(
             CommitRecord(changes.description, meter, detail=f"window {window}")
         )
         return meter
+
+
+#: Single source of truth for strategy resolution — the CLI and
+#: :class:`repro.api.RunSpec` validation key off this mapping.
+STRATEGY_REGISTRY: dict[str, type[BaseStrategy]] = {
+    "tiled": TiledStrategy,
+    "quick_eco": QuickEcoStrategy,
+    "incremental": IncrementalStrategy,
+    "full": FullStrategy,
+}
+
+STRATEGY_NAMES = tuple(STRATEGY_REGISTRY)
 
 
 def make_strategy(
@@ -255,18 +274,13 @@ def make_strategy(
     tiling: TilingOptions | None = None,
     tile_cache: TileConfigCache | None = DEFAULT_TILE_CACHE,
 ) -> BaseStrategy:
-    """Factory keyed by strategy name (see :data:`STRATEGY_NAMES`)."""
-    classes = {
-        "tiled": TiledStrategy,
-        "quick_eco": QuickEcoStrategy,
-        "incremental": IncrementalStrategy,
-        "full": FullStrategy,
-    }
+    """Factory keyed by strategy name (see :data:`STRATEGY_REGISTRY`)."""
     try:
-        cls = classes[name]
+        cls = STRATEGY_REGISTRY[name]
     except KeyError:
-        raise DebugFlowError(
-            f"unknown strategy {name!r}; choose from {STRATEGY_NAMES}"
+        raise UnknownStrategyError(
+            f"unknown strategy {name!r}; valid strategies: "
+            + ", ".join(sorted(STRATEGY_REGISTRY))
         ) from None
     return cls(packed, device, seed=seed, preset=preset, tiling=tiling,
                tile_cache=tile_cache)

@@ -42,5 +42,18 @@ class DebugFlowError(ReproError):
     """The emulation debug loop was driven into an invalid state."""
 
 
+class UnknownStrategyError(DebugFlowError, ValueError):
+    """An unknown back-end strategy name was requested.
+
+    Doubles as a :class:`ValueError` so spec validation and CLI argument
+    parsing can treat a bad name like any other bad input, while callers
+    catching :class:`DebugFlowError` keep working.
+    """
+
+
+class SpecError(ReproError, ValueError):
+    """A :class:`repro.api.RunSpec` failed validation."""
+
+
 class EmulationError(ReproError):
     """The emulator or bitstream model detected an inconsistency."""

@@ -37,8 +37,20 @@ mutations).
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
+
+#: Bumped whenever the on-disk payload layout changes; files written by
+#: another version are silently ignored on load.
+CACHE_FORMAT_VERSION = 1
+
+_CACHE_FORMAT_NAME = "repro-tile-config-cache"
+
+#: File name used inside a ``--cache-dir`` directory.
+CACHE_FILE_NAME = "tile_configs.pkl"
 
 
 @dataclass
@@ -73,32 +85,116 @@ class TileConfigCache:
     stores: int = 0
     rejected: int = 0
     _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    #: guards entry + counter updates so campaign workers can share one
+    #: cache (lock per cache, never serialized)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def lookup(self, key: str) -> TileConfig | None:
-        config = self._entries.get(key)
-        if config is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return config
+        with self._lock:
+            config = self._entries.get(key)
+            if config is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return config
 
     def store(self, key: str, config: TileConfig) -> None:
-        self._entries[key] = config
-        self._entries.move_to_end(key)
-        self.stores += 1
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = config
+            self._entries.move_to_end(key)
+            self.stores += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
     def note_rejected(self) -> None:
         """A hit failed apply-time verification (counts as a miss)."""
-        self.rejected += 1
-        self.hits -= 1
-        self.misses += 1
+        with self._lock:
+            self.rejected += 1
+            self.hits -= 1
+            self.misses += 1
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = self.misses = self.stores = self.rejected = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = self.stores = self.rejected = 0
+
+    # -- persistence ---------------------------------------------------
+
+    def save(self, path: str) -> int:
+        """Write every entry to ``path``; returns the entry count.
+
+        The file is a pickled wrapper carrying a format name, a format
+        version, and a SHA-256 digest of the pickled entry payload, so
+        :meth:`load` can reject truncated, corrupted, or incompatible
+        files without crashing.  The write is atomic (temp + rename).
+        """
+        with self._lock:
+            entries = list(self._entries.items())
+        payload = pickle.dumps(
+            entries, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        wrapper = {
+            "format": _CACHE_FORMAT_NAME,
+            "version": CACHE_FORMAT_VERSION,
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "payload": payload,
+        }
+        # pid + thread id: concurrent saves (campaign workers) must not
+        # share a temp file, or interleaved writes corrupt it and the
+        # losing os.replace raises
+        tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+        with open(tmp, "wb") as fh:
+            pickle.dump(wrapper, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        return len(entries)
+
+    def load(self, path: str) -> int:
+        """Merge entries previously :meth:`save`-d at ``path``.
+
+        Returns the number of entries merged.  A missing, corrupt,
+        digest-mismatched, or version-mismatched file is ignored (0),
+        never fatal — a cold start is always a safe fallback.
+        """
+        try:
+            with open(path, "rb") as fh:
+                wrapper = pickle.load(fh)
+            if not isinstance(wrapper, dict):
+                return 0
+            if wrapper.get("format") != _CACHE_FORMAT_NAME:
+                return 0
+            if wrapper.get("version") != CACHE_FORMAT_VERSION:
+                return 0
+            payload = wrapper.get("payload")
+            if (
+                not isinstance(payload, bytes)
+                or hashlib.sha256(payload).hexdigest()
+                != wrapper.get("sha256")
+            ):
+                return 0
+            entries = pickle.loads(payload)
+            if not isinstance(entries, list):
+                return 0
+        except Exception:
+            # a cold start is always safe; corrupt pickle streams can
+            # raise nearly anything (TypeError, KeyError, custom
+            # constructor errors), and the contract is "never fatal"
+            return 0
+        loaded = 0
+        with self._lock:
+            for key, config in entries:
+                if not isinstance(key, str) or not isinstance(
+                    config, TileConfig
+                ):
+                    continue
+                self._entries[key] = config
+                self._entries.move_to_end(key)
+                loaded += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return loaded
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -122,6 +218,38 @@ class TileConfigCache:
 #: Process-wide default used by :class:`~repro.tiling.manager.TiledLayout`
 #: unless a caller supplies its own (or ``tile_cache=None`` to disable).
 DEFAULT_TILE_CACHE = TileConfigCache()
+
+
+def stats_delta(before: dict, after: dict) -> dict:
+    """Counter delta between two :meth:`TileConfigCache.stats` snapshots
+    (plus the recomputed hit rate and the closing entry count)."""
+    delta = {
+        k: after[k] - before[k]
+        for k in ("hits", "misses", "stores", "rejected")
+    }
+    looked = delta["hits"] + delta["misses"]
+    delta["hit_rate"] = delta["hits"] / looked if looked else 0.0
+    delta["entries"] = after["entries"]
+    return delta
+
+
+def cache_file_path(cache_dir: str) -> str:
+    """The persistence file used inside a ``--cache-dir`` directory."""
+    return os.path.join(cache_dir, CACHE_FILE_NAME)
+
+
+def load_tile_cache(cache_dir: str, cache: TileConfigCache | None = None
+                    ) -> TileConfigCache:
+    """Warm ``cache`` (default: a fresh one) from ``cache_dir``."""
+    cache = cache if cache is not None else TileConfigCache()
+    cache.load(cache_file_path(cache_dir))
+    return cache
+
+
+def save_tile_cache(cache: TileConfigCache, cache_dir: str) -> int:
+    """Persist ``cache`` under ``cache_dir`` (created if missing)."""
+    os.makedirs(cache_dir, exist_ok=True)
+    return cache.save(cache_file_path(cache_dir))
 
 
 # ----------------------------------------------------------------------

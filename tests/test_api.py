@@ -1,0 +1,372 @@
+"""The `repro.api` facade: specs, pipeline, results, campaigns, CLI."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import (
+    CampaignRunner,
+    PipelineHooks,
+    RunResult,
+    RunSpec,
+    expand_matrix,
+    run_spec,
+)
+from repro.api.cli import main as cli_main
+from repro.debug import STRATEGY_REGISTRY, make_strategy
+from repro.debug.session import EmulationDebugSession, run_campaign
+from repro.errors import DebugFlowError, SpecError
+from repro.generators import build_design
+from repro.pnr.effort import EFFORT_PRESETS
+
+FAST = dict(preset="fast", max_probes=6, cache="private")
+
+
+def fast_spec(**overrides) -> RunSpec:
+    merged = {**FAST, "design": "9sym", "error_seed": 1}
+    merged.update(overrides)
+    return RunSpec(**merged)
+
+
+# ----------------------------------------------------------------------
+# RunSpec
+# ----------------------------------------------------------------------
+
+class TestRunSpec:
+    def test_every_field_survives_json_round_trip(self):
+        spec = RunSpec(
+            design="des",
+            design_seed=7,
+            design_params={"name": "des_small", "n_rounds": 2,
+                           "pipeline": True},
+            blif_path=None,
+            device="XC4013",
+            channel_width=28,
+            device_overhead=0.4,
+            strategy="incremental",
+            preset="thorough",
+            engine="interpreted",
+            seed=9,
+            n_patterns=32,
+            n_cycles=4,
+            error_kind="wrong_function",
+            error_seed=11,
+            max_probes=3,
+            goal_size=2,
+            tiling={"n_tiles": 6, "area_overhead": 0.25},
+            cache="private",
+            cache_dir="/tmp/somewhere",
+        )
+        data = json.loads(json.dumps(spec.to_dict()))
+        restored = RunSpec.from_dict(data)
+        assert restored == spec
+        for f in dataclasses.fields(RunSpec):
+            assert getattr(restored, f.name) == getattr(spec, f.name)
+
+    def test_defaults_round_trip(self):
+        spec = RunSpec()
+        assert RunSpec.from_json(spec.to_json()) == spec
+
+    @pytest.mark.parametrize("overrides", [
+        {"design": "nonesuch"},
+        {"strategy": "nonesuch"},
+        {"preset": "nonesuch"},
+        {"engine": "nonesuch"},
+        {"error_kind": "nonesuch"},
+        {"cache": "nonesuch"},
+        {"device": "XC9999"},
+        {"tiling": {"bogus_key": 1}},
+        {"n_patterns": 0},
+        {"goal_size": 0},
+        # 9sym takes no design_params (not a parameterizable generator)
+        {"design": "9sym", "design_params": {"x": 1}},
+    ])
+    def test_validation_rejects(self, overrides):
+        with pytest.raises(SpecError):
+            RunSpec(**overrides)
+
+    def test_spec_error_is_value_error(self):
+        with pytest.raises(ValueError):
+            RunSpec(design="nonesuch")
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(SpecError, match="unknown spec fields"):
+            RunSpec.from_dict({"design": "9sym", "bogus": 1})
+
+    def test_replaced_revalidates(self):
+        spec = RunSpec()
+        with pytest.raises(SpecError):
+            spec.replaced(strategy="nonesuch")
+
+
+# ----------------------------------------------------------------------
+# strategy registry
+# ----------------------------------------------------------------------
+
+class TestStrategyRegistry:
+    def test_unknown_strategy_raises_value_error_listing_names(self):
+        bundle = build_design("9sym")
+        from repro.api import device_for
+
+        device = device_for(bundle.packed)
+        with pytest.raises(ValueError) as excinfo:
+            make_strategy("nonesuch", bundle.packed, device)
+        for name in STRATEGY_REGISTRY:
+            assert name in str(excinfo.value)
+
+    def test_unknown_strategy_still_a_debug_flow_error(self):
+        bundle = build_design("9sym")
+        from repro.api import device_for
+
+        device = device_for(bundle.packed)
+        with pytest.raises(DebugFlowError):
+            make_strategy("nonesuch", bundle.packed, device)
+
+    def test_registry_exported_from_debug_package(self):
+        assert set(STRATEGY_REGISTRY) == {
+            "tiled", "quick_eco", "incremental", "full",
+        }
+
+
+# ----------------------------------------------------------------------
+# pipeline + RunResult
+# ----------------------------------------------------------------------
+
+class RecordingHooks(PipelineHooks):
+    def __init__(self):
+        self.stages_started = []
+        self.stages_ended = []
+        self.probes = []
+        self.commits = []
+
+    def on_stage_start(self, stage, ctx):
+        self.stages_started.append(stage.name)
+
+    def on_stage_end(self, stage, ctx, seconds):
+        self.stages_ended.append(stage.name)
+
+    def on_probe(self, ctx, step):
+        self.probes.append(step)
+
+    def on_commit(self, ctx, record):
+        self.commits.append(record)
+
+
+class TestPipeline:
+    def test_run_spec_full_flow(self):
+        result = run_spec(fast_spec())
+        assert result.detected and result.localized and result.fixed
+        assert result.error_instance in result.candidates
+        assert result.n_probes == len(result.probe_trajectory)
+        assert result.n_commits == result.n_probes + 1  # probes + the fix
+        assert set(result.timings["stages"]) == {
+            "detect", "localize", "correct", "verify",
+        }
+        assert result.spec == fast_spec().to_dict()
+
+    def test_hooks_observe_stages_probes_commits(self):
+        hooks = RecordingHooks()
+        result = run_spec(fast_spec(), hooks=hooks)
+        assert hooks.stages_started == [
+            "detect", "localize", "correct", "verify",
+        ]
+        assert hooks.stages_ended == hooks.stages_started
+        assert len(hooks.probes) == result.n_probes
+        assert len(hooks.commits) == result.n_commits
+
+    def test_undetected_error_reports_cleanly(self):
+        result = run_spec(fast_spec(error_seed=2))
+        assert not result.detected and not result.fixed
+        assert result.n_probes == 0 and result.n_commits == 0
+        assert any("never excited" in note for note in result.notes)
+
+    def test_result_json_round_trip(self):
+        result = run_spec(fast_spec())
+        restored = RunResult.from_dict(json.loads(result.to_json()))
+        assert restored.to_dict() == result.to_dict()
+        for f in dataclasses.fields(RunResult):
+            assert getattr(restored, f.name) == getattr(result, f.name)
+
+    def test_engines_bit_identical(self):
+        compiled = run_spec(fast_spec(engine="compiled"))
+        interpreted = run_spec(fast_spec(engine="interpreted"))
+        assert compiled.trajectory_key() == interpreted.trajectory_key()
+        assert compiled.candidates == interpreted.candidates
+
+
+# ----------------------------------------------------------------------
+# deprecation shims stay bit-identical
+# ----------------------------------------------------------------------
+
+def _legacy_signature(report):
+    loc = report.localization
+    steps = [] if loc is None else [
+        (s.probe_instance, s.mismatch, s.candidates_before,
+         s.candidates_after)
+        for s in loc.steps
+    ]
+    candidates = [] if loc is None else sorted(loc.candidates)
+    return steps, candidates, report.detected, report.fixed
+
+
+def _facade_signature(result):
+    return (
+        [tuple(t) for t in result.trajectory_key()],
+        list(result.candidates),
+        result.detected,
+        result.fixed,
+    )
+
+
+class TestShimEquivalence:
+    @pytest.mark.parametrize("seed", [1, 3])
+    def test_session_matches_facade_on_s9234(self, seed):
+        session = EmulationDebugSession(
+            build_design("s9234").packed, strategy="tiled", seed=seed,
+            preset=EFFORT_PRESETS["fast"], tile_cache=None,
+        )
+        report = session.run(error_kind="table_bit", error_seed=seed)
+        result = run_spec(RunSpec(
+            design="s9234", strategy="tiled", seed=seed, error_seed=seed,
+            preset="fast", cache="off",
+        ))
+        assert _legacy_signature(report) == _facade_signature(result)
+
+    def test_run_campaign_matches_campaign_runner_on_s9234(self):
+        reports = run_campaign(
+            lambda: build_design("s9234").packed, ["tiled", "quick_eco"],
+            error_kind="table_bit", seed=3, preset=EFFORT_PRESETS["fast"],
+        )
+        specs = expand_matrix(
+            RunSpec(design="s9234", seed=3, error_seed=3, preset="fast"),
+            strategies=["tiled", "quick_eco"],
+        )
+        campaign = CampaignRunner().run(specs)
+        for result in campaign.results:
+            report = reports[result.strategy]
+            assert _legacy_signature(report) == _facade_signature(result)
+            assert report.n_commits == result.n_commits
+
+
+# ----------------------------------------------------------------------
+# campaigns
+# ----------------------------------------------------------------------
+
+class TestCampaign:
+    def test_expand_matrix_order_and_values(self):
+        base = fast_spec()
+        specs = expand_matrix(
+            base, designs=["9sym", "styr"], error_seeds=[1, 5]
+        )
+        assert [(s.design, s.error_seed) for s in specs] == [
+            ("9sym", 1), ("9sym", 5), ("styr", 1), ("styr", 5),
+        ]
+        # untouched axes keep the base value
+        assert all(s.preset == "fast" for s in specs)
+
+    def test_expand_matrix_no_axes(self):
+        base = fast_spec()
+        assert expand_matrix(base) == [base]
+
+    def test_workers_do_not_change_results(self):
+        specs = expand_matrix(fast_spec(), error_seeds=[1, 3, 5])
+        serial = CampaignRunner(workers=1).run(specs)
+        threaded = CampaignRunner(workers=4).run(specs)
+        assert serial.n_runs == threaded.n_runs == 3
+        for a, b in zip(serial.results, threaded.results):
+            assert a.trajectory_key() == b.trajectory_key()
+            assert a.candidates == b.candidates
+            assert (a.detected, a.localized, a.fixed) == (
+                b.detected, b.localized, b.fixed
+            )
+
+    def test_campaign_result_round_trip(self, tmp_path):
+        campaign = CampaignRunner().run([fast_spec()])
+        path = tmp_path / "campaign.json"
+        campaign.save(str(path))
+        from repro.api import CampaignResult
+
+        restored = CampaignResult.load(str(path))
+        assert restored.to_dict() == campaign.to_dict()
+
+    def test_cache_dir_warms_second_campaign(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        # "private" keeps the test hermetic: each campaign starts from
+        # its own cache, warmed only by what --cache-dir persisted
+        specs = [fast_spec(cache="private")]
+        cold = CampaignRunner(cache_dir=cache_dir).run(specs)
+        assert cold.cache["hits"] == 0
+        warm = CampaignRunner(cache_dir=cache_dir).run(specs)
+        assert warm.cache["hits"] > 0
+        assert warm.cache["hit_rate"] > 0
+        for a, b in zip(cold.results, warm.results):
+            assert a.trajectory_key() == b.trajectory_key()
+            assert a.candidates == b.candidates
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(workers=0)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+class TestCli:
+    def test_run_emits_result_json(self, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        code = cli_main([
+            "run", "--design", "9sym", "--error-seed", "1",
+            "--preset", "fast", "--max-probes", "6",
+            "--cache", "private", "--json", str(out),
+        ])
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["localized"] is True and data["fixed"] is True
+
+    def test_run_json_to_stdout(self, capsys):
+        code = cli_main([
+            "run", "--design", "9sym", "--error-seed", "1",
+            "--preset", "fast", "--cache", "private", "--json", "-",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["design"] == "9sym"
+
+    def test_campaign_and_report(self, tmp_path, capsys):
+        out = tmp_path / "campaign.json"
+        code = cli_main([
+            "campaign", "--designs", "9sym", "--error-seeds", "1,3",
+            "--preset", "fast", "--max-probes", "6",
+            "--cache", "private", "--out", str(out),
+        ])
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["n_runs"] == 2
+        capsys.readouterr()
+        assert cli_main(["report", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "9sym" in printed
+
+    def test_bad_spec_exits_2(self, capsys):
+        assert cli_main(["run", "--design", "nonesuch"]) == 2
+
+    def test_undetected_run_exits_1(self, tmp_path):
+        code = cli_main([
+            "run", "--design", "9sym", "--error-seed", "2",
+            "--preset", "fast", "--cache", "private",
+        ])
+        assert code == 1
+
+
+class TestDesignParamsValidation:
+    def test_unknown_generator_kwargs_fail_fast(self):
+        with pytest.raises(SpecError, match="not accepted by"):
+            RunSpec(design="mips",
+                    design_params={"name": "x", "n_rounds": 2})
+
+    def test_matching_generator_kwargs_accepted(self):
+        spec = RunSpec(design="des",
+                       design_params={"name": "d", "n_rounds": 2})
+        assert RunSpec.from_json(spec.to_json()) == spec

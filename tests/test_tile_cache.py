@@ -188,3 +188,86 @@ def test_cache_lru_eviction_and_stats():
     assert stats["hits"] == 1.0 and stats["misses"] == 1.0
     cache.clear()
     assert len(cache) == 0 and cache.hits == 0
+
+
+# ----------------------------------------------------------------------
+# persistence (save/load across processes)
+# ----------------------------------------------------------------------
+
+def test_save_load_round_trip(tmp_path):
+    cache = TileConfigCache()
+    mapped, packed, tiled = build_tiled(cache)
+    changes = flip_first_lut(mapped)
+    tiled.apply_changeset(changes, seed=5, preset=EFFORT_PRESETS["fast"])
+    assert cache.stores > 0
+    path = str(tmp_path / "cache.pkl")
+    assert cache.save(path) == len(cache)
+
+    fresh = TileConfigCache()
+    assert fresh.load(path) == len(cache)
+    assert len(fresh) == len(cache)
+
+    # a twin build against the loaded cache replays every configuration
+    mapped2, packed2, tiled2 = build_tiled(fresh)
+    before = fresh.hits
+    changes2 = flip_first_lut(mapped2)
+    tiled2.apply_changeset(changes2, seed=5, preset=EFFORT_PRESETS["fast"])
+    assert fresh.hits > before
+    assert placement_by_name(tiled2) == placement_by_name(tiled)
+    assert routes_by_name(tiled2) == routes_by_name(tiled)
+    assert_layout_legal(tiled2.layout)
+
+
+def test_load_missing_file_is_ignored(tmp_path):
+    cache = TileConfigCache()
+    assert cache.load(str(tmp_path / "nonexistent.pkl")) == 0
+    assert len(cache) == 0
+
+
+def test_load_corrupt_file_is_ignored(tmp_path):
+    path = tmp_path / "corrupt.pkl"
+    path.write_bytes(b"this is not a pickle at all \x00\xff")
+    cache = TileConfigCache()
+    assert cache.load(str(path)) == 0
+    assert len(cache) == 0
+
+
+def test_load_truncated_file_is_ignored(tmp_path):
+    cache = TileConfigCache()
+    cache.store("k", TileConfig({}, {}, {}))
+    path = str(tmp_path / "trunc.pkl")
+    cache.save(path)
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    with open(path, "wb") as fh:
+        fh.write(blob[: len(blob) // 2])
+    fresh = TileConfigCache()
+    assert fresh.load(path) == 0
+
+
+def test_load_version_mismatch_is_ignored(tmp_path, monkeypatch):
+    import repro.tiling.cache as cache_mod
+
+    cache = TileConfigCache()
+    cache.store("k", TileConfig({}, {}, {}))
+    path = str(tmp_path / "versioned.pkl")
+    cache.save(path)
+    monkeypatch.setattr(cache_mod, "CACHE_FORMAT_VERSION", 9999)
+    fresh = TileConfigCache()
+    assert fresh.load(path) == 0
+
+
+def test_load_digest_mismatch_is_ignored(tmp_path):
+    import pickle
+
+    cache = TileConfigCache()
+    cache.store("k", TileConfig({}, {}, {}))
+    path = str(tmp_path / "tampered.pkl")
+    cache.save(path)
+    with open(path, "rb") as fh:
+        wrapper = pickle.load(fh)
+    wrapper["payload"] = wrapper["payload"] + b"tamper"
+    with open(path, "wb") as fh:
+        pickle.dump(wrapper, fh)
+    fresh = TileConfigCache()
+    assert fresh.load(path) == 0
