@@ -15,7 +15,11 @@ Measures, per design:
   campaign re-presents the identical commits and replays precomputed
   configurations (warm).  Reported: seconds per commit cold/warm, warm
   cache hit rate, ``commit_speedup`` (cold/warm), and a routed-legality
-  check of the final warm layout.
+  check of the final warm layout;
+* **formal verify** — a corrected-vs-golden miter per output cone
+  (:func:`repro.sat.equiv.prove_equivalence`) on the finished compiled
+  campaign: miter build and solve seconds, the proof verdict, and how
+  many outputs collapsed structurally before the solver ran.
 
 Results land in ``BENCH_perf.json``; every run also *appends* a
 timestamped summary to the file's ``history`` list, so the perf
@@ -181,7 +185,30 @@ def bench_localization(design: str, error_seed: int,
             contexts["compiled"].strategy.layout, check_capacity=False
         ),
     }
+
+    # ---- formal verify: per-output-cone miter on the corrected DUT ----
+    out["formal_verify"] = bench_formal_verify(contexts["compiled"])
     return out
+
+
+def bench_formal_verify(ctx, frames: int = 8) -> dict:
+    """Bounded-equivalence proof of the campaign's corrected netlist."""
+    from repro.sat.equiv import prove_equivalence
+
+    proof = prove_equivalence(
+        ctx.packed.netlist, ctx.golden, frames=frames, seed=1
+    )
+    return {
+        "frames": frames,
+        "proved": proof.proved,
+        "n_outputs": len(proof.outputs),
+        "n_structural": proof.n_structural,
+        "n_vars": proof.n_vars,
+        "n_clauses": proof.n_clauses,
+        "build_seconds": round(proof.build_seconds, 6),
+        "solve_seconds": round(proof.solve_seconds, 6),
+        "solver_stats": proof.solver_stats,
+    }
 
 
 def append_history(out_path: str, results: dict) -> list:
@@ -206,6 +233,7 @@ def append_history(out_path: str, results: dict) -> list:
     }
     for name, data in results["designs"].items():
         loc = data["localization"]
+        fv = loc["formal_verify"]
         summary["designs"][name] = {
             "sim_speedup": round(data["sim_throughput"]["speedup"], 3),
             "localization_speedup": round(loc["speedup"], 3),
@@ -214,6 +242,11 @@ def append_history(out_path: str, results: dict) -> list:
                 loc["commit_phase"]["commit_speedup"], 3
             ),
             "commit_hit_rate": loc["commit_phase"]["warm_cache_hit_rate"],
+            "formal_verify": {
+                "proved": fv["proved"],
+                "build_seconds": fv["build_seconds"],
+                "solve_seconds": fv["solve_seconds"],
+            },
         }
     history.append(summary)
     return history
@@ -300,6 +333,14 @@ def main(argv=None) -> int:
         )
         print(
             "  campaign: {:.1f}x end-to-end".format(loc["campaign_speedup"])
+        )
+        fv = loc["formal_verify"]
+        print(
+            "  formal verify: proved={} over {} frames, {}/{} outputs "
+            "structural, build {:.3f}s solve {:.3f}s".format(
+                fv["proved"], fv["frames"], fv["n_structural"],
+                fv["n_outputs"], fv["build_seconds"], fv["solve_seconds"],
+            )
         )
         results["designs"][design] = {
             "sim_throughput": sim,

@@ -1,10 +1,18 @@
-"""Legacy setup shim.
+"""Legacy setup shim — all metadata lives in ``pyproject.toml``.
 
-The offline environment ships setuptools without the ``wheel`` package,
-so PEP 660 editable installs (which need ``bdist_wheel``) fail.  This
-shim lets ``pip install -e . --no-use-pep517 --no-build-isolation``
-use the classic develop-install path.  All metadata lives in
-``pyproject.toml``.
+Two install paths, because offline environments often lack the
+``wheel`` package that modern editable installs build with:
+
+* ``pip install -e . --no-use-pep517 --no-build-isolation`` — the
+  classic develop-install path wherever setuptools *and* wheel exist
+  (pip >= 23.1 refuses the flag without both);
+* ``python setup.py develop`` — the fallback that needs setuptools
+  only, for containers where ``wheel`` is absent and cannot be
+  fetched.
+
+Either way the metadata (name, dynamic version from
+``repro._version``, ``src/`` package discovery) comes from
+``pyproject.toml``; this file stays an empty shim.
 """
 
 from setuptools import setup

@@ -34,10 +34,18 @@ from repro.api.pipeline import (
     run_spec,
 )
 from repro.api.result import RunResult
-from repro.api.spec import CACHE_POLICIES, ENGINE_NAMES, RunSpec
+from repro.api.spec import (
+    CACHE_POLICIES,
+    CORRECTION_MODES,
+    ENGINE_NAMES,
+    RunSpec,
+    VERIFY_MODES,
+)
 
 __all__ = [
     "CACHE_POLICIES",
+    "CORRECTION_MODES",
+    "VERIFY_MODES",
     "CampaignResult",
     "CampaignRunner",
     "CorrectStage",

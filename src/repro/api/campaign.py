@@ -42,17 +42,20 @@ def expand_matrix(
 ) -> list[RunSpec]:
     """The cartesian spec grid over the given axes, in a fixed order.
 
-    Axes left as ``None`` keep the base spec's value.  Order is the
-    nesting order of the arguments (designs outermost, seeds innermost)
-    so a results file lines up with the grid row by row.
+    Axes left as ``None`` — or empty, which a CSV flag like
+    ``--designs ""`` produces — keep the base spec's value, so an
+    unspecified axis never silently collapses the matrix to zero runs.
+    Order is the nesting order of the arguments (designs outermost,
+    seeds innermost) so a results file lines up with the grid row by
+    row; no axes at all yields the single-spec matrix ``[base]``.
     """
     axes = [
         ("design", designs), ("strategy", strategies),
         ("engine", engines), ("error_kind", error_kinds),
         ("error_seed", error_seeds), ("seed", seeds),
     ]
-    names = [name for name, values in axes if values is not None]
-    pools = [values for _, values in axes if values is not None]
+    names = [name for name, values in axes if values]
+    pools = [values for _, values in axes if values]
     if not names:
         return [base]
     return [

@@ -24,10 +24,17 @@ import argparse
 import json
 import sys
 
+from repro._version import __version__
 from repro.api.campaign import CampaignResult, CampaignRunner, expand_matrix
 from repro.api.pipeline import PipelineHooks, run_spec
 from repro.api.result import RunResult
-from repro.api.spec import CACHE_POLICIES, ENGINE_NAMES, RunSpec
+from repro.api.spec import (
+    CACHE_POLICIES,
+    CORRECTION_MODES,
+    ENGINE_NAMES,
+    RunSpec,
+    VERIFY_MODES,
+)
 from repro.debug.errors import ERROR_KINDS
 from repro.debug.strategies import STRATEGY_REGISTRY
 from repro.errors import ReproError
@@ -76,6 +83,13 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     g.add_argument("--goal-size", type=int, dest="goal_size")
     g.add_argument("--n-patterns", type=int, dest="n_patterns")
     g.add_argument("--n-cycles", type=int, dest="n_cycles")
+    g.add_argument("--verify", choices=list(VERIFY_MODES),
+                   help="fix verification: stimulus replay, bounded "
+                        "SAT proof, or both")
+    g.add_argument("--prove-frames", type=int, dest="prove_frames",
+                   help="proof unrolling depth (default: n-cycles)")
+    g.add_argument("--correction", choices=list(CORRECTION_MODES),
+                   help="fix synthesis: back-annotation or CEGIS")
     g.add_argument("--n-tiles", type=int, dest="n_tiles",
                    help="tiling granularity (TilingOptions.n_tiles)")
     g.add_argument("--cache", choices=list(CACHE_POLICIES))
@@ -86,7 +100,8 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
 _SPEC_FLAGS = (
     "design", "design_seed", "blif_path", "device", "strategy", "preset",
     "engine", "seed", "error_kind", "error_seed", "max_probes",
-    "goal_size", "n_patterns", "n_cycles", "cache", "cache_dir",
+    "goal_size", "n_patterns", "n_cycles", "verify", "prove_frames",
+    "correction", "cache", "cache_dir",
 )
 
 
@@ -116,16 +131,21 @@ def _parse_csv(text: str | None, convert=str) -> list | None:
 
 
 def _summary_line(result: RunResult) -> str:
-    return (
+    line = (
         f"{result.design:<10} {result.strategy:<12} {result.engine:<12} "
         f"err={result.error_kind}@{result.error_instance:<14} "
         f"detected={str(result.detected):<5} "
         f"localized={str(result.localized):<5} "
         f"fixed={str(result.fixed):<5} "
+    )
+    if result.proved is not None:
+        line += f"proved={str(result.proved):<5} "
+    line += (
         f"probes={result.n_probes:<3} commits={result.n_commits:<3} "
         f"cache_hits={result.n_commit_cache_hits:<3} "
         f"{result.wall_seconds:7.2f}s"
     )
+    return line
 
 
 def _emit_json(payload: dict, target: str) -> None:
@@ -275,6 +295,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="FPGA debug-pipeline facade (detect -> localize -> "
                     "correct -> verify)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

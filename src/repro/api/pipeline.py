@@ -81,6 +81,12 @@ class RunContext:
     error_seed: int = 0
     max_probes: int = 8
     goal_size: int = 4
+    #: fix verification mode: "simulate" | "prove" | "both"
+    verify: str = "simulate"
+    #: proof unrolling depth; ``None`` falls back to ``n_cycles``
+    prove_frames: int | None = None
+    #: fix synthesis mode: "oracle" | "cegis"
+    correction: str = "oracle"
     spec: object | None = None
 
     # -- produced by the stages ---------------------------------------
@@ -92,8 +98,19 @@ class RunContext:
     localization: LocalizationResult | None = None
     localized_correctly: bool = False
     fix: ChangeSet | None = None
+    #: how the committed fix was produced (FixSynthesis.to_dict form
+    #: for CEGIS repairs; None for oracle back-annotation)
+    correction_info: dict | None = None
     remaining: list[Mismatch] = field(default_factory=list)
     fixed: bool = False
+    #: bounded-equivalence verdict (None when the proof never ran)
+    proved: bool | None = None
+    #: ProofResult.to_dict() of the verify-stage proof
+    proof: dict | None = None
+    #: per-cycle input words exciting the residual bug, if one was found
+    counterexample: list | None = None
+    #: the compiled kernel reproduced the counterexample's mismatch
+    counterexample_confirmed: bool | None = None
     notes: list[str] = field(default_factory=list)
     #: per-stage wall-clock seconds, keyed by stage name
     stage_seconds: dict = field(default_factory=dict)
@@ -123,6 +140,8 @@ class RunContext:
             n_patterns=spec.n_patterns, n_cycles=spec.n_cycles,
             error_kind=spec.error_kind, error_seed=spec.error_seed,
             max_probes=spec.max_probes, goal_size=spec.goal_size,
+            verify=spec.verify, prove_frames=spec.prove_frames,
+            correction=spec.correction,
             spec=spec,
         )
 
@@ -209,7 +228,15 @@ class LocalizeStage(Stage):
 
 
 class CorrectStage(Stage):
-    """Back-annotate the designer's fix and commit it (steps 11-15)."""
+    """Produce and commit the fix (steps 11-15).
+
+    ``correction="oracle"`` replays the designer's back-annotated
+    inverse of the injected error.  ``correction="cegis"`` instead
+    synthesizes a replacement truth table for one of the localization
+    candidates from counterexamples (:mod:`repro.sat.cegis`), falling
+    back to back-annotation — with a note — when no candidate admits a
+    table repair (structural errors, empty candidate sets).
+    """
 
     name = "correct"
 
@@ -218,25 +245,99 @@ class CorrectStage(Stage):
             return
         assert ctx.error is not None
         netlist = ctx.packed.netlist
-        ctx.fix = apply_correction(netlist, ctx.error)
+        anchor = ctx.error.instance
+        if ctx.correction == "cegis":
+            synthesized = self._synthesize(ctx)
+            if synthesized is not None:
+                ctx.fix = synthesized.changes
+                ctx.correction_info = synthesized.to_dict()
+                anchor = synthesized.instance
+            else:
+                ctx.notes.append(
+                    "cegis found no truth-table repair; "
+                    "fell back to back-annotation"
+                )
+        if ctx.fix is None:
+            ctx.fix = apply_correction(netlist, ctx.error)
         check_netlist(netlist)
-        ctx.strategy.commit(ctx.fix, anchor_instance=ctx.error.instance)
+        ctx.strategy.commit(ctx.fix, anchor_instance=anchor)
+
+    @staticmethod
+    def _synthesize(ctx: RunContext):
+        from repro.debug.correct import synthesize_lut_fix
+
+        candidates = (
+            sorted(ctx.localization.candidates)
+            if ctx.localization is not None else []
+        )
+        if not candidates or not ctx.mismatches:
+            return None
+        return synthesize_lut_fix(
+            ctx.packed.netlist, ctx.golden, candidates, ctx.mismatches,
+            ctx.stimulus, ctx.n_patterns, engine=ctx.engine, seed=ctx.seed,
+        )
 
 
 class VerifyStage(Stage):
-    """Re-emulate; the fix must clear every mismatch (step 21)."""
+    """Judge the fix (step 21): stimulus replay, SAT proof, or both.
+
+    ``verify="simulate"`` re-emulates the original stimulus (legacy
+    behavior).  ``verify="prove"`` builds a corrected-vs-golden miter
+    per output cone (:func:`repro.sat.equiv.prove_equivalence`) and
+    either proves bounded equivalence from reset or extracts a
+    counterexample, which is replayed through the compiled kernel as a
+    regression stimulus and recorded in ``remaining``.  ``"both"``
+    requires the stimulus *and* the proof to pass.
+    """
 
     name = "verify"
 
     def run(self, ctx: RunContext, hooks: PipelineHooks) -> None:
         if not ctx.detected:
             return
-        ctx.remaining = ctx.detect()
-        ctx.fixed = not ctx.remaining
-        if not ctx.fixed:
-            ctx.notes.append(
-                f"{len(ctx.remaining)} mismatches persist after fix"
-            )
+        sim_ok = True
+        if ctx.verify in ("simulate", "both"):
+            ctx.remaining = ctx.detect()
+            sim_ok = not ctx.remaining
+            if not sim_ok:
+                ctx.notes.append(
+                    f"{len(ctx.remaining)} mismatches persist after fix"
+                )
+        if ctx.verify in ("prove", "both"):
+            self._prove(ctx)
+            ctx.fixed = sim_ok and bool(ctx.proved)
+        else:
+            ctx.fixed = sim_ok
+
+    @staticmethod
+    def _prove(ctx: RunContext) -> None:
+        from repro.sat.equiv import (
+            counterexample_mismatches,
+            prove_equivalence,
+        )
+
+        frames = ctx.prove_frames or ctx.n_cycles
+        proof = prove_equivalence(
+            ctx.packed.netlist, ctx.golden, frames=frames, seed=ctx.seed,
+        )
+        ctx.proved = proof.proved
+        ctx.proof = proof.to_dict()
+        if proof.proved:
+            return
+        ctx.counterexample = proof.counterexample
+        mismatches = counterexample_mismatches(
+            ctx.packed.netlist, ctx.golden, proof.counterexample,
+            engine=ctx.engine,
+        )
+        ctx.counterexample_confirmed = bool(mismatches)
+        if ctx.verify == "prove":
+            # the replayed counterexample is the regression stimulus
+            ctx.remaining = mismatches
+        ctx.notes.append(
+            f"proof found a counterexample at output {proof.cex_output} "
+            f"({'confirmed' if mismatches else 'NOT reproduced'} "
+            "by the compiled kernel)"
+        )
 
 
 def default_stages() -> tuple[Stage, ...]:

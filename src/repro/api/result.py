@@ -31,6 +31,19 @@ class RunResult:
     #: the injected error's instance is inside the final candidate set
     localized: bool = False
     fixed: bool = False
+    #: bounded-equivalence verdict from ``verify="prove"|"both"``
+    #: (None when the proof never ran)
+    proved: bool | None = None
+    #: :meth:`repro.sat.equiv.ProofResult.to_dict` of the verify proof
+    proof: dict | None = None
+    #: per-cycle input words exciting the residual bug, if proof failed
+    counterexample: list | None = None
+    #: the compiled kernel reproduced the counterexample's mismatch
+    counterexample_confirmed: bool | None = None
+    #: CEGIS repair description (``correction="cegis"`` runs only)
+    correction: dict | None = None
+    #: candidates eliminated by SAT pruning (``"sat"`` strategy runs)
+    n_sat_eliminated: int = 0
     #: final candidate instances, sorted
     candidates: list = field(default_factory=list)
     #: per-probe records: probe / mismatch / candidates before & after
@@ -85,6 +98,14 @@ class RunResult:
             detected=ctx.detected,
             localized=ctx.localized_correctly,
             fixed=ctx.fixed,
+            proved=ctx.proved,
+            proof=ctx.proof,
+            counterexample=ctx.counterexample,
+            counterexample_confirmed=ctx.counterexample_confirmed,
+            correction=ctx.correction_info,
+            n_sat_eliminated=(
+                loc.sat_eliminated if loc is not None else 0
+            ),
             candidates=candidates,
             probe_trajectory=trajectory,
             n_probes=loc.n_probes if loc is not None else 0,

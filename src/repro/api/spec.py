@@ -27,6 +27,12 @@ from repro.pnr.effort import EFFORT_PRESETS
 
 ENGINE_NAMES = ("compiled", "interpreted")
 CACHE_POLICIES = ("shared", "private", "off")
+#: how VerifyStage judges the fix: stimulus replay, bounded SAT proof
+#: (miter per output cone, counterexample on failure), or both
+VERIFY_MODES = ("simulate", "prove", "both")
+#: how CorrectStage produces the fix: replay the designer's
+#: back-annotated inverse, or CEGIS a truth table from counterexamples
+CORRECTION_MODES = ("oracle", "cegis")
 
 _DEVICE_NAMES = tuple(spec.name for spec in XC4000_FAMILY)
 
@@ -77,6 +83,14 @@ class RunSpec:
     error_seed: int = 0
     max_probes: int = 8
     goal_size: int = 4
+    #: fix verification mode: "simulate" (legacy stimulus replay),
+    #: "prove" (bounded equivalence per output cone), or "both"
+    verify: str = "simulate"
+    #: unrolling depth for the proof; ``None`` uses ``n_cycles``
+    prove_frames: int | None = None
+    #: fix synthesis mode: "oracle" (back-annotation) or "cegis"
+    #: (SAT truth-table synthesis with oracle fallback)
+    correction: str = "oracle"
     #: TilingOptions overrides as a plain dict, e.g. ``{"n_tiles": 10}``
     tiling: dict | None = None
     #: tile-configuration cache policy: "shared" (process-wide default
@@ -155,6 +169,20 @@ class RunSpec:
                 f"unknown cache policy {self.cache!r}; valid policies: "
                 + ", ".join(CACHE_POLICIES)
             )
+        if self.verify not in VERIFY_MODES:
+            raise SpecError(
+                f"unknown verify mode {self.verify!r}; valid modes: "
+                + ", ".join(VERIFY_MODES)
+            )
+        if self.correction not in CORRECTION_MODES:
+            raise SpecError(
+                f"unknown correction mode {self.correction!r}; valid "
+                "modes: " + ", ".join(CORRECTION_MODES)
+            )
+        if self.prove_frames is not None and (
+            not isinstance(self.prove_frames, int) or self.prove_frames < 1
+        ):
+            raise SpecError("prove_frames must be an int >= 1 or null")
         if self.tiling is not None:
             if not isinstance(self.tiling, dict):
                 raise SpecError("tiling must be a dict or null")

@@ -1,16 +1,30 @@
 """Error correction (paper steps 11-13).
 
-The designer fixes the bug at the HDL level; back-annotation carries the
-fix down to the mapped netlist as the inverse of the injected error.
-:func:`apply_correction` replays that inverse and returns the
-:class:`ChangeSet` whose commit (tile-confined re-place-and-route) is
-what the paper's Figure 5 measures.
+Two routes produce the fix :class:`ChangeSet` whose commit the paper's
+Figure 5 measures:
+
+* **back-annotation** (:func:`apply_correction`) — the designer fixes
+  the bug at the HDL level and the inverse of the injected error is
+  replayed onto the mapped netlist;
+* **CEGIS synthesis** (:func:`synthesize_lut_fix`) — no oracle: the
+  localization candidates are tried in order, and for each suspect LUT
+  the CDCL solver searches for a replacement truth table consistent
+  with every counterexample observed so far, iterating
+  solve → simulate-check → add blocking constraint until a table
+  verifies against the golden model on the full stimulus
+  (:mod:`repro.sat.cegis`).  Errors that are not truth-table-shaped at
+  any candidate (a rewired input pin, say) come back unfixable and the
+  caller falls back to back-annotation.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
+from repro.debug.detect import Mismatch
 from repro.debug.errors import ErrorRecord
 from repro.errors import DebugFlowError
+from repro.netlist.cells import CellKind
 from repro.netlist.core import Netlist
 from repro.tiling.eco import ChangeRecorder, ChangeSet
 
@@ -40,3 +54,84 @@ def apply_correction(
         # only if the table happened to match; make the touch explicit
         changes.changed_instances.add(record.instance)
     return changes
+
+
+@dataclass
+class FixSynthesis:
+    """A verified CEGIS repair, ready to commit."""
+
+    #: netlist delta applying the synthesized table
+    changes: ChangeSet
+    #: the LUT that was retabled
+    instance: str
+    #: the replacement truth table
+    table: int
+    #: CEGIS round trips spent on the successful suspect
+    iterations: int
+    #: suspects attempted, in order (the last one succeeded)
+    tried: list[str] = field(default_factory=list)
+    #: counterexamples accumulated: (cycle, output, pattern)
+    counterexamples: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "instance": self.instance,
+            "table": self.table,
+            "iterations": self.iterations,
+            "tried": list(self.tried),
+            "counterexamples": [list(c) for c in self.counterexamples],
+        }
+
+
+def synthesize_lut_fix(
+    netlist: Netlist,
+    golden: Netlist,
+    candidates,
+    mismatches: list[Mismatch],
+    stimulus: list[dict[str, int]],
+    n_patterns: int,
+    engine: str = "compiled",
+    max_iterations: int = 12,
+    seed: int = 0,
+) -> FixSynthesis | None:
+    """Search the candidate LUTs for a truth-table repair.
+
+    Candidates are tried in sorted order; the first whose synthesized
+    table clears *every* mismatch on the full stimulus wins and is
+    applied to ``netlist``.  Returns ``None`` when no candidate admits
+    a table fix (the error is structural, or lies outside the
+    candidates) — the pipeline then falls back to back-annotation.
+    """
+    from repro.sat.cegis import synthesize_table
+
+    if not mismatches:
+        raise DebugFlowError("cannot synthesize a fix without a mismatch")
+    tried: list[str] = []
+    for name in sorted(candidates):
+        if not netlist.has_instance(name):
+            continue
+        inst = netlist.instance(name)
+        if inst.kind is not CellKind.LUT or not inst.inputs:
+            continue
+        tried.append(name)
+        outcome = synthesize_table(
+            netlist, golden, name, mismatches, stimulus, n_patterns,
+            engine=engine, max_iterations=max_iterations, seed=seed,
+        )
+        if not outcome.succeeded:
+            continue
+        with ChangeRecorder(netlist, f"cegis retable @ {name}") as rec:
+            netlist.set_params(inst, {"table": outcome.table})
+        changes = rec.changes
+        assert changes is not None
+        # params-only edits are connectivity-invisible to the recorder
+        changes.changed_instances.add(name)
+        return FixSynthesis(
+            changes=changes,
+            instance=name,
+            table=outcome.table,
+            iterations=outcome.iterations,
+            tried=tried,
+            counterexamples=list(outcome.counterexamples),
+        )
+    return None

@@ -65,8 +65,14 @@ class ProbeStep:
 class LocalizationResult:
     candidates: set[str]
     steps: list[ProbeStep] = field(default_factory=list)
-    #: wall-clock seconds per phase: seed/pick/emulate/commit
+    #: wall-clock seconds per phase: seed/pick/emulate/commit (plus
+    #: "sat" when SAT-guided pruning ran)
     timings: dict[str, float] = field(default_factory=dict)
+    #: candidates eliminated by the SAT pruner instead of by probes
+    sat_eliminated: int = 0
+    #: solver queries made / refuted by the SAT pruner
+    sat_checks: int = 0
+    sat_unsat: int = 0
 
     @property
     def n_probes(self) -> int:
@@ -192,7 +198,25 @@ class ConeLocalizer:
         result = LocalizationResult(candidates=set(), timings=timings)
         emulator: Emulator | None = None
 
+        pruner = None
+        matched_probes: list[str] = []
+        if getattr(self.strategy, "sat_localization", False) and mismatches:
+            from repro.sat.diagnose import SuspectPruner
+
+            timings["sat"] = 0.0
+            pruner = SuspectPruner(
+                netlist, self.golden, self.stimulus, mismatches,
+                self._golden_nets, seed=self.strategy.seed,
+            )
+
         for probe_no in range(max_probes):
+            if pruner is not None and ops.count() > self.goal_size:
+                t0 = time.perf_counter()
+                removed = pruner.prune(ops.names(), matched_probes)
+                if removed:
+                    ops.remove(removed)
+                    result.sat_eliminated += len(removed)
+                timings["sat"] += time.perf_counter() - t0
             before = ops.count()
             if before <= self.goal_size:
                 break
@@ -226,6 +250,8 @@ class ConeLocalizer:
             )
             timings["emulate"] += time.perf_counter() - t0
 
+            if not mismatch:
+                matched_probes.append(probe_net)
             ops.apply_verdict(probe, mismatch)
             after = ops.count()
             step = ProbeStep(probe, mismatch, before, after)
@@ -238,6 +264,9 @@ class ConeLocalizer:
                     "(reconvergent masking); rerun with more patterns"
                 )
         result.candidates = ops.names()
+        if pruner is not None:
+            result.sat_checks = pruner.n_checks
+            result.sat_unsat = pruner.n_unsat
         return result
 
     def _pick_probe_bitset(
@@ -321,6 +350,9 @@ class _CandidateOps:
     def apply_verdict(self, probe: str, mismatch: bool) -> None:
         raise NotImplementedError
 
+    def remove(self, names: set[str]) -> None:
+        raise NotImplementedError
+
     def names(self) -> set[str]:
         raise NotImplementedError
 
@@ -351,6 +383,9 @@ class _SetCandidateOps(_CandidateOps):
             self.candidates.add(probe)
         else:
             self.candidates -= (cone | {probe})
+
+    def remove(self, names: set[str]) -> None:
+        self.candidates -= names
 
     def names(self) -> set[str]:
         return self.candidates
@@ -384,6 +419,11 @@ class _BitsetCandidateOps(_CandidateOps):
             self.candidates = (self.candidates & cone) | probe_bit
         else:
             self.candidates &= ~(cone | probe_bit)
+
+    def remove(self, names: set[str]) -> None:
+        for name in names:
+            if self.cones.has(name):
+                self.candidates &= ~(1 << self.cones.bit(name))
 
     def names(self) -> set[str]:
         return self.cones.names_of(self.candidates)

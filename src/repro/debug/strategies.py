@@ -71,6 +71,9 @@ class BaseStrategy:
     """Common state: the packed design, device, and commit history."""
 
     name = "base"
+    #: strategies may opt the localizer into SAT-guided candidate
+    #: pruning (see :class:`repro.sat.diagnose.SuspectPruner`)
+    sat_localization = False
 
     def __init__(
         self,
@@ -191,6 +194,24 @@ class TiledStrategy(BaseStrategy):
         return report.effort
 
 
+class SatTiledStrategy(TiledStrategy):
+    """Tiled commits plus SAT-guided candidate elimination.
+
+    The physical back end is identical to :class:`TiledStrategy`; the
+    difference is in the localizer, which consults the CDCL solver
+    before each probe (see :mod:`repro.sat.diagnose`): suspects whose
+    relaxation provably cannot reproduce the round's observed
+    discrepancies are dropped — together with the cone subsets they
+    dominate — *before* an observation-point commit is spent on them.
+    Elimination is sound (only candidates that cannot be the error are
+    removed), so the strategy localizes whatever ``tiled`` localizes,
+    in at most as many probes.
+    """
+
+    name = "sat"
+    sat_localization = True
+
+
 class QuickEcoStrategy(BaseStrategy):
     """Functional-block granularity: re-P&R the whole affected block.
 
@@ -257,6 +278,7 @@ class IncrementalStrategy(BaseStrategy):
 #: :class:`repro.api.RunSpec` validation key off this mapping.
 STRATEGY_REGISTRY: dict[str, type[BaseStrategy]] = {
     "tiled": TiledStrategy,
+    "sat": SatTiledStrategy,
     "quick_eco": QuickEcoStrategy,
     "incremental": IncrementalStrategy,
     "full": FullStrategy,

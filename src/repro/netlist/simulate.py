@@ -177,3 +177,24 @@ def simulate_words(
 ) -> dict[str, int]:
     """One-shot combinational simulation convenience wrapper."""
     return CombinationalSimulator(netlist).run(inputs, n_patterns)
+
+
+def replay_outputs(
+    netlist: Netlist,
+    stimulus: list[dict[str, int]],
+    n_patterns: int = 1,
+    engine: str = "compiled",
+) -> list[dict[str, int]]:
+    """Per-cycle outputs of a run from reset over ``stimulus``.
+
+    Ports missing from a cycle's map read 0 — the emulator's contract
+    for disabled control inputs, shared by detection, counterexample
+    replay and the CEGIS check so all three judge the same interface.
+    """
+    sim = SequentialSimulator(netlist, engine=engine)
+    sim.reset(n_patterns)
+    ports = {port_name(pi) for pi in netlist.primary_inputs()}
+    return [
+        sim.step({p: cycle.get(p, 0) for p in ports}, n_patterns)
+        for cycle in stimulus
+    ]

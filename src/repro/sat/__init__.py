@@ -1,0 +1,49 @@
+"""Boolean-satisfiability layer: CDCL solving over CNF netlist encodings.
+
+The simulation substrate answers "what does the circuit do on *these*
+patterns"; this package answers "is there *any* pattern" — the
+qualitative jump from stimulus-driven confidence to proof.  Three
+pieces, layered bottom-up:
+
+* :mod:`repro.sat.solver` — a pure-python CDCL solver (two-watched-
+  literal propagation, 1-UIP clause learning, VSIDS activity, Luby
+  restarts, incremental solving under assumptions; deterministic for a
+  given seed);
+* :mod:`repro.sat.cnf` — CNF construction through a structurally-
+  hashing, constant-folding :class:`GateBuilder`, so identical logic in
+  two circuits collapses onto shared variables (the SAT-sweeping trick
+  that makes miters of near-identical netlists near-trivial);
+* :mod:`repro.sat.encode` — demand-driven Tseitin encoding of a
+  :class:`~repro.netlist.core.Netlist`'s time-unrolling (LUTs and
+  gates per frame, flip-flops stitched frame-to-frame, frame 0 at the
+  reset state).
+
+Consumers live beside the flows they serve:
+
+* :mod:`repro.sat.equiv` — miter construction and bounded equivalence
+  checking (``verify="prove"`` in the pipeline);
+* :mod:`repro.sat.diagnose` — MUX-relaxed suspect pruning for the
+  ``"sat"`` localization strategy;
+* :mod:`repro.sat.cegis` — truth-table synthesis for
+  :func:`repro.debug.correct.synthesize_lut_fix`.
+"""
+
+from repro.sat.cnf import CNF, GateBuilder
+from repro.sat.encode import CircuitEncoder
+from repro.sat.equiv import (
+    ProofResult,
+    counterexample_mismatches,
+    prove_equivalence,
+)
+from repro.sat.solver import Solver, SolverStats
+
+__all__ = [
+    "CNF",
+    "CircuitEncoder",
+    "GateBuilder",
+    "ProofResult",
+    "Solver",
+    "SolverStats",
+    "counterexample_mismatches",
+    "prove_equivalence",
+]

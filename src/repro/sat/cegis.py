@@ -1,0 +1,217 @@
+"""CEGIS truth-table synthesis: solve for a LUT that repairs the DUT.
+
+Counter-Example-Guided Inductive Synthesis over the smallest useful
+hypothesis space — the ``2**k`` truth-table bits of one suspect LUT.
+The suspect's table is replaced by free variables ``t_0..t_{2^k-1}``
+shared across every encoding; each counterexample contributes one
+unrolled copy of the DUT with the counterexample's stimulus applied as
+constants and the golden output values asserted at every cycle of its
+window.  Because the stimulus is constant, the gate builder folds each
+copy down to the handful of literals that actually depend on the
+unknown table — the CNF stays tiny no matter how large the design is.
+
+The loop is the classic alternation, run on one incremental solver:
+
+1. **solve** — find a table consistent with every counterexample seen;
+2. **simulate-check** — retable a scratch copy and run the *full*
+   multi-pattern stimulus through the simulation kernel against golden;
+3. **refine** — a surviving mismatch becomes a new counterexample
+   constraint, plus a blocking clause on the failed table so progress
+   is guaranteed even before the new constraint bites.
+
+UNSAT means no table at this location explains the evidence — the
+caller moves to the next suspect (or falls back to back-annotation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.debug.detect import Mismatch, compare_runs
+from repro.netlist.cells import CellKind
+from repro.netlist.core import Netlist, port_name
+from repro.rng import derive_seed
+from repro.sat.cnf import CNF, GateBuilder, SatError
+from repro.sat.encode import CircuitEncoder
+from repro.sat.solver import Solver
+
+
+@dataclass
+class TableSynthesis:
+    """Outcome of one suspect's CEGIS run."""
+
+    instance: str
+    #: the verified replacement table, or None when no table works
+    table: int | None
+    #: solve→check→refine round trips taken
+    iterations: int
+    #: (cycle, output, pattern) counterexamples the loop accumulated
+    counterexamples: list[tuple[int, str, int]] = field(default_factory=list)
+    solver_stats: dict = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.table is not None
+
+
+def _first_failure(mismatches: list[Mismatch]) -> tuple[int, str, int]:
+    first = min(mismatches, key=lambda m: (m.cycle, m.output))
+    pattern = (first.diff_mask & -first.diff_mask).bit_length() - 1
+    return first.cycle, first.output, pattern
+
+
+def synthesize_table(
+    netlist: Netlist,
+    golden: Netlist,
+    candidate: str,
+    mismatches: list[Mismatch],
+    stimulus: list[dict[str, int]],
+    n_patterns: int,
+    engine: str = "compiled",
+    max_iterations: int = 12,
+    seed: int = 0,
+) -> TableSynthesis:
+    """CEGIS a replacement truth table for ``candidate`` in ``netlist``.
+
+    ``netlist`` is the faulty DUT (left unmodified — checks run on a
+    scratch copy); ``golden`` supplies the intended behavior;
+    ``mismatches`` seed the first counterexample.  Deterministic for a
+    given seed.
+    """
+    inst = netlist.instance(candidate)
+    if inst.kind is not CellKind.LUT or not inst.inputs:
+        raise SatError(f"{candidate} is not a synthesizable LUT")
+    k = len(inst.inputs)
+    if not mismatches:
+        raise SatError("CEGIS needs at least one observed mismatch")
+
+    from repro.netlist.simulate import replay_outputs
+
+    golden_out = replay_outputs(golden, stimulus, n_patterns, engine=engine)
+    gb = GateBuilder(CNF())
+    table_vars = [gb.cnf.new_var() for _ in range(1 << k)]
+    solver = Solver(gb.cnf, seed=derive_seed(seed, "sat.cegis", candidate))
+    result = TableSynthesis(instance=candidate, table=None, iterations=0)
+
+    def add_counterexample(cycle: int, pattern: int) -> None:
+        _encode_counterexample(
+            gb, netlist, golden, candidate, table_vars,
+            stimulus, pattern, cycle, golden_out,
+        )
+
+    first_cycle, first_output, first_pattern = _first_failure(mismatches)
+    result.counterexamples.append((first_cycle, first_output, first_pattern))
+    add_counterexample(first_cycle, first_pattern)
+
+    scratch = netlist.copy(f"{netlist.name}.cegis")
+    scratch_inst = scratch.instance(candidate)
+    while result.iterations < max_iterations:
+        result.iterations += 1
+        if not solver.solve():
+            break  # no table is consistent with the evidence
+        table = 0
+        for m, var in enumerate(table_vars):
+            if solver.lit_true(var):
+                table |= 1 << m
+        scratch.set_params(scratch_inst, {"table": table})
+        remaining = _check_against_golden(
+            scratch, golden_out, stimulus, n_patterns, engine
+        )
+        if not remaining:
+            result.table = table
+            break
+        cycle, output, pattern = _first_failure(remaining)
+        result.counterexamples.append((cycle, output, pattern))
+        add_counterexample(cycle, pattern)
+        # block the exact failed table: progress even when the new
+        # counterexample window happens not to constrain it
+        gb.cnf.add_clause(
+            [-var if (table >> m) & 1 else var
+             for m, var in enumerate(table_vars)]
+        )
+    result.solver_stats = solver.stats.snapshot()
+    return result
+
+
+# ----------------------------------------------------------------------
+# internals
+# ----------------------------------------------------------------------
+
+def _check_against_golden(
+    scratch: Netlist,
+    golden_out: list[dict[str, int]],
+    stimulus,
+    n_patterns: int,
+    engine: str,
+) -> list[Mismatch]:
+    """Full-stimulus, all-patterns comparison of the retabled DUT."""
+    from repro.netlist.simulate import replay_outputs
+
+    return compare_runs(
+        replay_outputs(scratch, stimulus, n_patterns, engine=engine),
+        golden_out,
+    )
+
+
+def _encode_counterexample(
+    gb: GateBuilder,
+    netlist: Netlist,
+    golden: Netlist,
+    candidate: str,
+    table_vars: list[int],
+    stimulus,
+    pattern: int,
+    cycle: int,
+    golden_out: list[dict[str, int]],
+) -> None:
+    """One unrolled DUT copy under the counterexample's constants.
+
+    The suspect's output becomes the symbolic table lookup; every
+    golden functional output value over frames ``0..cycle`` is asserted.
+    """
+
+    def const_input(port: str, frame: int) -> int:
+        word = stimulus[frame].get(port, 0)
+        return gb.const((word >> pattern) & 1)
+
+    def relax(inst, frame, in_lits, lit):
+        if inst.name != candidate:
+            return lit
+        return _symbolic_lut(gb, table_vars, in_lits)
+
+    enc = CircuitEncoder(netlist, gb, inputs=const_input, relax=relax)
+    shared = {
+        port_name(po) for po in golden.primary_outputs()
+    } & set(enc.output_names())
+    for t in range(cycle + 1):
+        for port in sorted(shared):
+            bit = (golden_out[t][port] >> pattern) & 1
+            lit = enc.output_lit(port, t)
+            gb.clause([lit] if bit else [-lit])
+
+
+def _symbolic_lut(gb: GateBuilder, table_vars: list[int], in_lits) -> int:
+    """``out = table[inputs]`` with the table bits as variables.
+
+    With constant inputs (the CEGIS case) this folds to the selected
+    table variable itself; symbolic inputs get the full definition.
+    """
+    in_lits = list(in_lits)
+    minterm = 0
+    symbolic = False
+    for j, lit in enumerate(in_lits):
+        value = gb.const_value(lit)
+        if value is None:
+            symbolic = True
+            break
+        minterm |= value << j
+    if not symbolic:
+        return table_vars[minterm]
+    out = gb.cnf.new_var()
+    for m, tvar in enumerate(table_vars):
+        match = gb.lit_and(
+            [l if (m >> j) & 1 else -l for j, l in enumerate(in_lits)]
+        )
+        gb.clause([-match, -tvar, out])
+        gb.clause([-match, tvar, -out])
+    return out

@@ -1,0 +1,224 @@
+"""SAT-guided suspect pruning for the ``"sat"`` localization strategy.
+
+Cone bisection pays one tile-confined P&R commit per bit of
+information.  This module extracts information that is *free* of
+commits: before each probe, it asks the solver whether the round's
+observed discrepancies could even be explained by an error behind a
+given suspect, and discards whole cone subsets when the answer is no.
+
+The encoding is the rtl-repair-style relaxation.  The *golden* netlist
+is unrolled to the first observed failure cycle with the round's
+stimulus applied as constants (so everything upstream of the suspects
+constant-folds away), and each selected suspect LUT ``c`` is
+MUX-relaxed: its output becomes ``s_c ? free_{c,t} : original``, with
+the one-hot selector variables ``s_c`` driven by solver assumptions.
+The observations — every functional primary-output value the DUT
+actually produced up to that cycle, plus every probe that *matched*
+golden so far — are asserted as unit clauses.
+
+For one suspect at a time the solver is asked: *with only ``c`` freed,
+can the golden circuit reproduce what the DUT did?*
+
+* **SAT** — an error influencing the observations only through ``c``
+  remains possible; ``c`` stays.
+* **UNSAT** — no behavior at ``c``'s output explains the observations,
+  so the real error must reach an observation point along a path that
+  avoids ``c``.  Every candidate whose observation paths *all* run
+  through ``c`` (computed by a reverse reachability walk over the DUT
+  with ``c`` deleted) is eliminated in one stroke — including ``c``
+  itself, since an error *at* ``c`` is a special case of freeing it.
+
+The pruner is engine-independent (pure name sets and netlist walks) and
+deterministic: suspect selection order, pattern choice, and the seeded
+solver are all functions of the run's inputs, which is what keeps the
+``"sat"`` strategy's probe trajectory bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.debug.detect import Mismatch
+from repro.netlist.cones import ConeIndex
+from repro.netlist.core import Netlist, port_name
+from repro.rng import derive_seed
+from repro.sat.cnf import CNF, GateBuilder
+from repro.sat.encode import CircuitEncoder
+from repro.sat.solver import Solver
+
+
+class SuspectPruner:
+    """Per-localization helper; one instance drives every probe round."""
+
+    def __init__(
+        self,
+        dut: Netlist,
+        golden: Netlist,
+        stimulus: list[dict[str, int]],
+        mismatches: list[Mismatch],
+        golden_history: list[dict[str, int]],
+        max_checks: int = 4,
+        seed: int = 0,
+    ) -> None:
+        self.dut = dut
+        self.golden = golden
+        self.stimulus = stimulus
+        self.golden_history = golden_history
+        self.max_checks = max_checks
+        self.seed = seed
+        first = min(mismatches, key=lambda m: (m.cycle, m.output))
+        #: observation window: frames 0..cycle inclusive
+        self.cycle = first.cycle
+        #: the single pattern the encoding reasons about — the lowest
+        #: failing bit of the earliest mismatch
+        self.pattern = (first.diff_mask & -first.diff_mask).bit_length() - 1
+        self._diff = {(m.cycle, m.output): m.diff_mask for m in mismatches}
+        self._out_net = {
+            port_name(po): po.inputs[0].name
+            for po in golden.primary_outputs()
+        }
+        #: counters surfaced through LocalizationResult
+        self.n_checks = 0
+        self.n_unsat = 0
+        self._round = 0
+        # suspect scoring only reads candidate fanin cones, and probe
+        # instrumentation added between rounds taps nets strictly
+        # downstream of them — one index serves every round
+        self._cones = ConeIndex(dut, stop_at_ffs=False)
+
+    # ------------------------------------------------------------------
+
+    def prune(
+        self, candidates: set[str], matched_probes: list[str]
+    ) -> set[str]:
+        """Candidates provably unable to explain the observations."""
+        if len(candidates) <= 1:
+            return set()
+        checked = self._select_suspects(candidates)
+        if not checked:
+            return set()
+        self._round += 1
+        gb = GateBuilder(CNF())
+        p = self.pattern
+
+        def const_input(port: str, frame: int) -> int:
+            word = self.stimulus[frame].get(port, 0)
+            return gb.const((word >> p) & 1)
+
+        selector = {name: gb.cnf.new_var() for name in checked}
+        free_vars: dict[tuple[str, int], int] = {}
+
+        def relax(inst, frame, in_lits, lit):
+            sel = selector.get(inst.name)
+            if sel is None:
+                return lit
+            free = free_vars.get((inst.name, frame))
+            if free is None:
+                free = gb.cnf.new_var()
+                free_vars[(inst.name, frame)] = free
+            return gb.lit_mux(sel, lit, free)
+
+        enc = CircuitEncoder(self.golden, gb, inputs=const_input, relax=relax)
+        self._assert_observations(gb, enc, matched_probes)
+
+        solver = Solver(
+            gb.cnf, seed=derive_seed(self.seed, "sat.diagnose", self._round)
+        )
+        eliminated: set[str] = set()
+        for name in checked:
+            if name in eliminated:
+                continue
+            assumptions = [selector[name]] + [
+                -selector[other] for other in checked if other != name
+            ]
+            self.n_checks += 1
+            if solver.solve(assumptions):
+                continue
+            self.n_unsat += 1
+            reachable = self._reach_avoiding(name, matched_probes)
+            subset = candidates - reachable - eliminated
+            # a sound elimination can never drain the candidate set;
+            # if it would, distrust this verdict and keep the suspects
+            if subset and (candidates - eliminated - subset):
+                eliminated |= subset
+        return eliminated
+
+    # ------------------------------------------------------------------
+
+    def _select_suspects(self, candidates: set[str]) -> list[str]:
+        """The suspects worth a solver call: largest candidate fanin
+        first — the cuts whose UNSAT eliminates the most at once."""
+        cones = self._cones
+        golden = self.golden
+        cand_mask = 0
+        for name in candidates:
+            if cones.has(name):
+                cand_mask |= 1 << cones.bit(name)
+        scored: list[tuple[int, str]] = []
+        for name in sorted(candidates):
+            if not golden.has_instance(name):
+                continue
+            inst = golden.instance(name)
+            if inst.is_io or inst.is_ff or inst.output is None:
+                continue
+            if not cones.has(name):
+                continue
+            score = (cones.fanin(name) & cand_mask).bit_count()
+            scored.append((-score, name))
+        scored.sort()
+        return [name for _, name in scored[: self.max_checks]]
+
+    def _assert_observations(
+        self, gb: GateBuilder, enc: CircuitEncoder, matched_probes: list[str]
+    ) -> None:
+        """Unit-clause everything the DUT run actually showed us."""
+        p = self.pattern
+        for t in range(self.cycle + 1):
+            values = self.golden_history[t]
+            for port in sorted(self._out_net):
+                net = self._out_net[port]
+                bit = (values[net] >> p) & 1
+                diff = self._diff.get((t, port), 0)
+                if (diff >> p) & 1:
+                    bit ^= 1  # the DUT disagreed here — observe *its* value
+                lit = enc.output_lit(port, t)
+                gb.clause([lit] if bit else [-lit])
+            for net in sorted(set(matched_probes)):
+                # a "match" probe verdict certifies the DUT carried the
+                # golden value on this net at every cycle and pattern
+                if not self.golden.has_net(net):
+                    continue
+                bit = (values.get(net, 0) >> p) & 1
+                lit = enc.net_lit(net, t)
+                gb.clause([lit] if bit else [-lit])
+
+    def _reach_avoiding(self, removed: str, matched_probes: list[str]) -> set[str]:
+        """DUT instances that reach an observation point without passing
+        through ``removed`` — the suspects an UNSAT at ``removed``
+        cannot clear."""
+        dut = self.dut
+        seeds = []
+        for po in dut.primary_outputs():
+            if port_name(po) not in self._out_net:
+                continue  # instrumentation output, not observed here
+            driver = po.inputs[0].driver
+            if driver is not None and driver.name != removed:
+                seeds.append(driver)
+        for net in set(matched_probes):
+            if not dut.has_net(net):
+                continue
+            driver = dut.net(net).driver
+            if driver is not None and driver.name != removed:
+                seeds.append(driver)
+        seen: set[str] = set()
+        work = list(seeds)
+        while work:
+            inst = work.pop()
+            if inst.name in seen:
+                continue
+            seen.add(inst.name)
+            for net in inst.inputs:
+                driver = net.driver
+                if driver is None or driver.name == removed:
+                    continue
+                if driver.name not in seen:
+                    work.append(driver)
+        return seen

@@ -11,6 +11,13 @@ from repro.pnr import EFFORT_PRESETS, full_place_and_route
 from repro.synth import map_to_luts, pack_netlist
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running campaigns, opt in with REPRO_SLOW=1",
+    )
+
+
 def make_adder_netlist(width: int = 4, registered: bool = False) -> Netlist:
     """A ripple adder, optionally with an output register."""
     netlist = Netlist(f"adder{width}{'r' if registered else ''}")

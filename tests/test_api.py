@@ -125,7 +125,7 @@ class TestStrategyRegistry:
 
     def test_registry_exported_from_debug_package(self):
         assert set(STRATEGY_REGISTRY) == {
-            "tiled", "quick_eco", "incremental", "full",
+            "tiled", "sat", "quick_eco", "incremental", "full",
         }
 
 
@@ -269,6 +269,21 @@ class TestCampaign:
         base = fast_spec()
         assert expand_matrix(base) == [base]
 
+    def test_expand_matrix_empty_axes_keep_base(self):
+        # an empty CSV flag (--designs "") must not collapse the matrix
+        # to zero runs; empty axes behave exactly like omitted ones
+        base = fast_spec()
+        assert expand_matrix(base, designs=[], seeds=[]) == [base]
+        specs = expand_matrix(base, designs=[], error_seeds=[1, 5])
+        assert [s.error_seed for s in specs] == [1, 5]
+        assert all(s.design == base.design for s in specs)
+
+    def test_expand_matrix_single_spec_matrix(self):
+        base = fast_spec()
+        specs = expand_matrix(base, designs=["styr"])
+        assert len(specs) == 1
+        assert specs[0] == base.replaced(design="styr")
+
     def test_workers_do_not_change_results(self):
         specs = expand_matrix(fast_spec(), error_seeds=[1, 3, 5])
         serial = CampaignRunner(workers=1).run(specs)
@@ -348,6 +363,65 @@ class TestCli:
         assert cli_main(["report", str(out)]) == 0
         printed = capsys.readouterr().out
         assert "9sym" in printed
+
+    def test_report_on_saved_campaign_file(self, tmp_path, capsys):
+        # report must work from the file alone — no live objects: a
+        # fabricated results payload stands in for an old campaign
+        from repro.api import CampaignResult
+
+        runs = []
+        for design, fixed in (("9sym", True), ("styr", False)):
+            runs.append(RunResult(
+                design=design, strategy="tiled", engine="compiled",
+                error_kind="table_bit", error_instance="lut$1",
+                detected=True, localized=fixed, fixed=fixed,
+                n_probes=3, n_commits=4,
+                effort={"debug": {"work_units": 123.0}},
+                wall_seconds=1.5,
+            ))
+        campaign = CampaignResult(results=runs, wall_seconds=3.0,
+                                  workers=2,
+                                  cache={"hits": 1.0, "misses": 2.0,
+                                         "hit_rate": 1 / 3})
+        path = tmp_path / "old_campaign.json"
+        campaign.save(str(path))
+        assert cli_main(["report", str(path)]) == 0
+        printed = capsys.readouterr().out
+        assert "9sym" in printed and "styr" in printed
+        assert "2 runs, 2 detected, 1 localized, 1 fixed" in printed
+        assert "hit rate 0.33" in printed
+
+    def test_report_on_single_run_file(self, tmp_path, capsys):
+        result = RunResult(design="9sym", strategy="tiled",
+                           engine="compiled", detected=True, fixed=True)
+        path = tmp_path / "run.json"
+        path.write_text(result.to_json())
+        assert cli_main(["report", str(path)]) == 0
+        assert "9sym" in capsys.readouterr().out
+
+    def test_version_flag(self, capsys):
+        from repro._version import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            cli_main(["--version"])
+        assert exc.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_run_json_is_self_describing(self, capsys):
+        # the emitted payload carries the spec's *resolved* defaults
+        code = cli_main([
+            "run", "--design", "9sym", "--error-seed", "1",
+            "--preset", "fast", "--cache", "private", "--json", "-",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        spec = data["spec"]
+        assert spec["design"] == "9sym" and spec["preset"] == "fast"
+        # fields never mentioned on the command line appear resolved
+        assert spec["n_patterns"] == 64
+        assert spec["strategy"] == "tiled"
+        assert spec["verify"] == "simulate"
+        assert spec["correction"] == "oracle"
 
     def test_bad_spec_exits_2(self, capsys):
         assert cli_main(["run", "--design", "nonesuch"]) == 2

@@ -1,0 +1,179 @@
+"""GateBuilder folding/hashing and the unrolled netlist encoder."""
+
+import itertools
+
+from repro.netlist.cells import CellKind
+from repro.netlist.core import Netlist
+from repro.netlist.simulate import SequentialSimulator, simulate_words
+from repro.sat.cnf import CNF, GateBuilder, _cofactor, _flip_var
+from repro.sat.encode import CircuitEncoder
+from repro.sat.solver import Solver
+
+
+class TestGateBuilderFolding:
+    def test_and_folding(self):
+        gb = GateBuilder()
+        x, y = gb.cnf.new_var(), gb.cnf.new_var()
+        assert gb.lit_and([]) == gb.true
+        assert gb.lit_and([x]) == x
+        assert gb.lit_and([x, gb.true]) == x
+        assert gb.lit_and([x, gb.false]) == gb.false
+        assert gb.lit_and([x, x, y]) == gb.lit_and([y, x])
+        assert gb.lit_and([x, -x]) == gb.false
+
+    def test_xor_normalization(self):
+        gb = GateBuilder()
+        x, y = gb.cnf.new_var(), gb.cnf.new_var()
+        assert gb.lit_xor([x, x]) == gb.false
+        assert gb.lit_xor([x, -x]) == gb.true
+        assert gb.lit_xor([x, gb.false]) == x
+        assert gb.lit_xor([x, gb.true]) == -x
+        assert gb.lit_xor([x, y]) == gb.lit_xor([y, x])
+        assert gb.lit_xor([-x, y]) == -gb.lit_xor([x, y])
+
+    def test_mux_folding(self):
+        gb = GateBuilder()
+        s, x, y = (gb.cnf.new_var() for _ in range(3))
+        assert gb.lit_mux(gb.true, x, y) == y
+        assert gb.lit_mux(gb.false, x, y) == x
+        assert gb.lit_mux(s, x, x) == x
+        assert gb.lit_mux(s, -x, x) == gb.lit_xor([s, -x])
+        assert gb.lit_mux(-s, x, y) == gb.lit_mux(s, y, x)
+
+    def test_structural_hashing_shares_nodes(self):
+        gb = GateBuilder()
+        x, y = gb.cnf.new_var(), gb.cnf.new_var()
+        before = gb.cnf.n_vars
+        a1 = gb.lit_and([x, y])
+        a2 = gb.lit_and([y, x])
+        assert a1 == a2
+        assert gb.cnf.n_vars == before + 1
+
+    def test_lut_canonicalizes_to_gate_nodes(self):
+        gb = GateBuilder()
+        x, y = gb.cnf.new_var(), gb.cnf.new_var()
+        assert gb.lit_lut(0b0110, [x, y]) == gb.lit_xor([x, y])
+        assert gb.lit_lut(0b1000, [x, y]) == gb.lit_and([x, y])
+        assert gb.lit_lut(0b1110, [x, y]) == gb.lit_or([x, y])
+        assert gb.lit_lut(0b0111, [x, y]) == -gb.lit_and([x, y])
+        # constant input cofactors away; don't-care input drops
+        assert gb.lit_lut(0b1000, [x, gb.true]) == x
+        assert gb.lit_lut(0b1010, [x, y]) == x  # ignores y
+        assert gb.lit_lut(0b0101, [x, y]) == -x
+
+    def test_cofactor_and_flip_helpers(self):
+        table = 0b0110  # xor2
+        assert _cofactor(table, 2, 0, 0) == 0b10  # xor(0, b) = b
+        assert _cofactor(table, 2, 0, 1) == 0b01  # xor(1, b) = ~b
+        assert _flip_var(table, 2, 0) == 0b1001  # xnor
+
+    def test_every_lut_semantics_exhaustively(self):
+        for k in (1, 2, 3):
+            for table in range(1 << (1 << k)):
+                gb = GateBuilder()
+                ins = [gb.cnf.new_var() for _ in range(k)]
+                out = gb.lit_lut(table, ins)
+                solver = Solver(gb.cnf)
+                for bits in itertools.product([0, 1], repeat=k):
+                    assume = [
+                        v if b else -v for v, b in zip(ins, bits)
+                    ]
+                    minterm = sum(b << j for j, b in enumerate(bits))
+                    want = (table >> minterm) & 1
+                    assert solver.solve(
+                        assume + [out if want else -out]
+                    ), (k, table, bits)
+                    assert not solver.solve(
+                        assume + [-out if want else out]
+                    ), (k, table, bits)
+
+
+def _solve_inputs(enc, solver, stimulus, pattern):
+    """Assumption literals fixing every encoded input to the pattern."""
+    assume = []
+    for (port, frame), var in sorted(enc.input_vars.items()):
+        bit = (stimulus[frame].get(port, 0) >> pattern) & 1
+        assume.append(var if bit else -var)
+    return assume
+
+
+class TestCircuitEncoder:
+    def _comb_netlist(self):
+        nl = Netlist("comb")
+        a, b, c = nl.add_input("a"), nl.add_input("b"), nl.add_input("c")
+        g1 = nl.add_gate(CellKind.AND, [a, b])
+        g2 = nl.add_gate(CellKind.XOR, [g1, c])
+        lut = nl.add_lut([a, g2], 0b0111, name="l0")
+        nl.add_output("y", g2)
+        nl.add_output("z", lut.output)
+        return nl
+
+    def test_combinational_agrees_with_simulator(self):
+        nl = self._comb_netlist()
+        gb = GateBuilder(CNF())
+        enc = CircuitEncoder(nl, gb)
+        lits = {name: enc.output_lit(name, 0) for name in ("y", "z")}
+        solver = Solver(gb.cnf)
+        for bits in itertools.product([0, 1], repeat=3):
+            inputs = dict(zip("abc", bits))
+            want = simulate_words(nl, inputs, 1)
+            stim = [inputs]
+            assert solver.solve(_solve_inputs(enc, solver, stim, 0))
+            for name, lit in lits.items():
+                assert int(solver.lit_true(lit)) == want[name]
+
+    def test_sequential_frames_match_simulator(self):
+        nl = Netlist("seq")
+        a = nl.add_input("a")
+        q0 = nl.add_net("q0")
+        q1 = nl.add_net("q1")
+        x = nl.add_gate(CellKind.XOR, [a, q0])
+        nl.add_dff(x, name="ff0", output=q0, init=1)
+        nl.add_dff(q0, name="ff1", output=q1)
+        nl.add_output("y", q1)
+        frames = 4
+        stimulus = [{"a": p & 1} for p in (1, 0, 1, 1)]
+        sim = SequentialSimulator(nl, engine="interpreted")
+        sim.reset(1)
+        outs = sim.run(stimulus, 1)
+        gb = GateBuilder(CNF())
+        enc = CircuitEncoder(nl, gb)
+        lits = [enc.output_lit("y", t) for t in range(frames)]
+        solver = Solver(gb.cnf)
+        assert solver.solve(_solve_inputs(enc, solver, stimulus, 0))
+        for t in range(frames):
+            assert int(solver.lit_true(lits[t])) == outs[t]["y"]
+
+    def test_frame_zero_uses_init_state(self):
+        nl = Netlist("init")
+        a = nl.add_input("a")
+        q = nl.add_net("q")
+        nl.add_dff(a, name="ff", output=q, init=1)
+        nl.add_output("y", q)
+        gb = GateBuilder(CNF())
+        enc = CircuitEncoder(nl, gb)
+        assert enc.output_lit("y", 0) == gb.true
+
+    def test_constant_stimulus_folds_everything(self):
+        nl = self._comb_netlist()
+        gb = GateBuilder(CNF())
+        enc = CircuitEncoder(
+            nl, gb, inputs=lambda port, frame: gb.const(port == "a")
+        )
+        # a=1, b=0, c=0: the whole cone is constant — no clauses needed
+        assert gb.const_value(enc.output_lit("y", 0)) == 0
+        assert gb.const_value(enc.output_lit("z", 0)) == 1
+
+    def test_relax_hook_replaces_instance_output(self):
+        nl = self._comb_netlist()
+        gb = GateBuilder(CNF())
+        free = {}
+
+        def relax(inst, frame, in_lits, lit):
+            if inst.name != "l0":
+                return lit
+            return free.setdefault(frame, gb.cnf.new_var())
+
+        enc = CircuitEncoder(nl, gb, relax=relax)
+        z = enc.output_lit("z", 0)
+        assert z == free[0]

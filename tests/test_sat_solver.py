@@ -1,0 +1,174 @@
+"""The CDCL solver: correctness against brute force, incrementality."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.sat.cnf import CNF, SatError
+from repro.sat.solver import Solver, _luby
+
+
+def brute_force_sat(n_vars, clauses):
+    for bits in itertools.product([0, 1], repeat=n_vars):
+        if all(
+            any((lit > 0) == bool(bits[abs(lit) - 1]) for lit in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+def make_random_cnf(n_vars, n_clauses, rng):
+    cnf = CNF()
+    clauses = []
+    for _ in range(n_vars):
+        cnf.new_var()
+    for _ in range(n_clauses):
+        width = rng.randint(1, min(3, n_vars))
+        chosen = rng.sample(range(1, n_vars + 1), width)
+        clause = [v if rng.random() < 0.5 else -v for v in chosen]
+        clauses.append(clause)
+        cnf.add_clause(clause)
+    return cnf, clauses
+
+
+class TestSolverCorrectness:
+    def test_matches_brute_force_on_random_instances(self):
+        rng = random.Random(11)
+        for trial in range(80):
+            n = rng.randint(2, 10)
+            cnf, clauses = make_random_cnf(n, rng.randint(1, 4 * n), rng)
+            solver = Solver(cnf, seed=trial % 5)
+            got = solver.solve()
+            assert got == brute_force_sat(n, clauses)
+            if got:
+                for clause in clauses:
+                    assert any(solver.lit_true(lit) for lit in clause)
+
+    def test_empty_formula_is_sat(self):
+        assert Solver(CNF()).solve() is True
+
+    def test_empty_clause_is_unsat(self):
+        cnf = CNF()
+        cnf.new_var()
+        cnf.clauses.append(())
+        solver = Solver(cnf)
+        assert solver.solve() is False
+        assert solver.ok is False
+
+    def test_unit_propagation_chain(self):
+        cnf = CNF()
+        a, b, c, d = (cnf.new_var() for _ in range(4))
+        cnf.add_clause([a])
+        cnf.add_clause([-a, b])
+        cnf.add_clause([-b, c])
+        cnf.add_clause([-c, d])
+        solver = Solver(cnf)
+        assert solver.solve()
+        assert all(solver.value(v) == 1 for v in (a, b, c, d))
+        assert solver.stats.decisions == 0
+
+    def test_pigeonhole_unsat(self):
+        # 4 pigeons in 3 holes: exercises learning and backjumping
+        cnf = CNF()
+        var = {
+            (p, h): cnf.new_var() for p in range(4) for h in range(3)
+        }
+        for p in range(4):
+            cnf.add_clause([var[p, h] for h in range(3)])
+        for h in range(3):
+            for p1 in range(4):
+                for p2 in range(p1 + 1, 4):
+                    cnf.add_clause([-var[p1, h], -var[p2, h]])
+        solver = Solver(cnf, seed=1)
+        assert solver.solve() is False
+        assert solver.stats.conflicts > 0
+        assert solver.stats.learned > 0
+
+    def test_luby_sequence(self):
+        assert [_luby(i) for i in range(15)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+    def test_rejects_zero_literal(self):
+        cnf = CNF()
+        cnf.new_var()
+        solver = Solver(cnf)
+        with pytest.raises(SatError):
+            solver.solve([0])
+
+    def test_model_unavailable_after_unsat(self):
+        cnf = CNF()
+        a = cnf.new_var()
+        cnf.add_clause([a])
+        cnf.add_clause([-a])
+        solver = Solver(cnf)
+        assert solver.solve() is False
+        with pytest.raises(SatError):
+            solver.value(a)
+
+
+class TestAssumptionsAndIncrementality:
+    def test_assumptions_branch_the_same_formula(self):
+        cnf = CNF()
+        a, b, c = (cnf.new_var() for _ in range(3))
+        cnf.add_clause([a, b])
+        cnf.add_clause([-a, c])
+        solver = Solver(cnf)
+        assert solver.solve([a]) and solver.lit_true(c)
+        assert solver.solve([-a]) and solver.lit_true(b)
+        assert solver.solve([a, -c]) is False
+        # a refuted assumption set must not poison the instance
+        assert solver.ok is True
+        assert solver.solve([a]) is True
+
+    def test_conflicting_assumptions(self):
+        cnf = CNF()
+        a = cnf.new_var()
+        solver = Solver(cnf)
+        assert solver.solve([a, -a]) is False
+        assert solver.ok is True
+
+    def test_clauses_added_between_solves(self):
+        cnf = CNF()
+        a, b = cnf.new_var(), cnf.new_var()
+        cnf.add_clause([a, b])
+        solver = Solver(cnf)
+        assert solver.solve([-a]) and solver.lit_true(b)
+        cnf.add_clause([-b])  # grows the attached CNF
+        assert solver.solve([-a]) is False
+        assert solver.solve([a]) is True
+        cnf.add_clause([-a])
+        assert solver.solve() is False
+        assert solver.ok is False
+
+    def test_variables_added_between_solves(self):
+        cnf = CNF()
+        a = cnf.new_var()
+        cnf.add_clause([a])
+        solver = Solver(cnf)
+        assert solver.solve()
+        b = cnf.new_var()
+        cnf.add_clause([-a, b])
+        assert solver.solve()
+        assert solver.value(b) == 1
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        rng = random.Random(3)
+        cnf, _ = make_random_cnf(25, 95, rng)
+        solver = Solver(cnf, seed=seed)
+        sat = solver.solve()
+        model = (
+            [solver.value(v) for v in range(1, 26)] if sat else None
+        )
+        return sat, model, solver.stats.snapshot()
+
+    def test_same_seed_same_run(self):
+        assert self._run(7) == self._run(7)
+        assert self._run(0) == self._run(0)
+
+    def test_verdict_independent_of_seed(self):
+        assert self._run(1)[0] == self._run(2)[0] == self._run(0)[0]
