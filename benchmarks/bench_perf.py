@@ -19,7 +19,12 @@ Measures, per design:
 * **formal verify** — a corrected-vs-golden miter per output cone
   (:func:`repro.sat.equiv.prove_equivalence`) on the finished compiled
   campaign: miter build and solve seconds, the proof verdict, and how
-  many outputs collapsed structurally before the solver ran.
+  many outputs collapsed structurally before the solver ran;
+* **multi-error loop** — a two-fault campaign through the
+  diagnose→fix→re-detect round loop with ``verify="prove"``: rounds
+  taken, probes and retired observation points per round, SAT
+  eliminations per round (``"sat"`` strategy), and the final
+  fixed/proved verdicts.
 
 Results land in ``BENCH_perf.json``; every run also *appends* a
 timestamped summary to the file's ``history`` list, so the perf
@@ -59,6 +64,11 @@ DEFAULT_DESIGNS = ("s9234", "mips", "des")
 QUICK_DESIGNS = ("s9234",)
 #: error seeds chosen so each design's campaign detects and probes
 ERROR_SEEDS = {"s9234": 3, "mips": 2, "des": 1}
+#: error seeds whose two-fault injection detects on each design
+MULTI_ERROR_SEEDS = {"s9234": 4, "mips": 1, "des": 1, "9sym": 6}
+#: the "sat" strategy's cardinality-k pruner is benched on designs
+#: small enough for the all-instances relaxation
+MULTI_SAT_DESIGNS = {"s9234", "9sym"}
 ENGINES = ("interpreted", "compiled")
 
 SPEEDUP_TARGET = 5.0
@@ -211,6 +221,50 @@ def bench_formal_verify(ctx, frames: int = 8) -> dict:
     }
 
 
+def bench_multi_error(design: str, error_seed: int,
+                      max_probes: int = 12) -> dict:
+    """Two-fault diagnose→fix→re-detect campaign with a bounded proof.
+
+    Runs the ``"sat"`` strategy (cardinality-k pruning) on designs the
+    all-instances relaxation can afford, plain ``"tiled"`` elsewhere.
+    """
+    from repro.api import run_spec
+
+    strategy = "sat" if design in MULTI_SAT_DESIGNS else "tiled"
+    spec = RunSpec(
+        design=design, strategy=strategy, seed=1, preset="fast",
+        error_kind="table_bit", error_seed=error_seed, n_errors=2,
+        verify="prove", max_probes=max_probes, cache="private",
+    )
+    t0 = time.perf_counter()
+    result = run_spec(spec)
+    wall = time.perf_counter() - t0
+    return {
+        "strategy": strategy,
+        "error_seed": error_seed,
+        "n_errors": result.n_errors_injected,
+        "detected": result.detected,
+        "fixed": result.fixed,
+        "proved": result.proved,
+        "n_rounds": result.n_rounds,
+        "errors_found": len(result.errors_found),
+        "n_probes": result.n_probes,
+        "n_sat_eliminated": result.n_sat_eliminated,
+        "rounds": [
+            {
+                "round": r["round"],
+                "n_probes": r["n_probes"],
+                "probes_retired": r["probes_retired"],
+                "sat_eliminated": r["sat_eliminated"],
+                "corrected": r["corrected"],
+                "residual_mismatches": r["residual_mismatches"],
+            }
+            for r in result.rounds
+        ],
+        "wall_seconds": round(wall, 6),
+    }
+
+
 def append_history(out_path: str, results: dict) -> list:
     """Load any existing run history and append this run's summary."""
     history = []
@@ -234,6 +288,7 @@ def append_history(out_path: str, results: dict) -> list:
     for name, data in results["designs"].items():
         loc = data["localization"]
         fv = loc["formal_verify"]
+        me = data["multi_error"]
         summary["designs"][name] = {
             "sim_speedup": round(data["sim_throughput"]["speedup"], 3),
             "localization_speedup": round(loc["speedup"], 3),
@@ -246,6 +301,18 @@ def append_history(out_path: str, results: dict) -> list:
                 "proved": fv["proved"],
                 "build_seconds": fv["build_seconds"],
                 "solve_seconds": fv["solve_seconds"],
+            },
+            "multi_error": {
+                "strategy": me["strategy"],
+                "fixed": me["fixed"],
+                "proved": me["proved"],
+                "n_rounds": me["n_rounds"],
+                "n_probes": me["n_probes"],
+                "probes_retired": sum(
+                    r["probes_retired"] for r in me["rounds"]
+                ),
+                "sat_eliminated": me["n_sat_eliminated"],
+                "wall_seconds": me["wall_seconds"],
             },
         }
     history.append(summary)
@@ -342,9 +409,22 @@ def main(argv=None) -> int:
                 fv["n_outputs"], fv["build_seconds"], fv["solve_seconds"],
             )
         )
+        me = bench_multi_error(
+            design, MULTI_ERROR_SEEDS.get(design, 1), max_probes=max_probes
+        )
+        print(
+            "  multi-error ({}): fixed={} proved={} over {} rounds, "
+            "{} probes, {} retired, {} sat-eliminated, {:.2f}s".format(
+                me["strategy"], me["fixed"], me["proved"], me["n_rounds"],
+                me["n_probes"],
+                sum(r["probes_retired"] for r in me["rounds"]),
+                me["n_sat_eliminated"], me["wall_seconds"],
+            )
+        )
         results["designs"][design] = {
             "sim_throughput": sim,
             "localization": loc,
+            "multi_error": me,
         }
 
     # gates run on the largest design (by instance count, not order)
@@ -371,6 +451,11 @@ def main(argv=None) -> int:
             >= COMMIT_SPEEDUP_TARGET
         ),
         "routed_legal": largest_loc["commit_phase"]["routed_legal"],
+        # the two-fault loop must land a verified fix on every design
+        "multi_error_fixed": all(
+            data["multi_error"]["fixed"] and data["multi_error"]["proved"]
+            for data in results["designs"].values()
+        ),
     }
     if "des" in results["designs"]:
         gates["des_campaign_speedup"] = (

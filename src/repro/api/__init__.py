@@ -25,8 +25,10 @@ from repro.api.pipeline import (
     CorrectStage,
     DebugPipeline,
     DetectStage,
+    DiagnoseLoop,
     LocalizeStage,
     PipelineHooks,
+    RoundRecord,
     RunContext,
     Stage,
     VerifyStage,
@@ -51,7 +53,9 @@ __all__ = [
     "CorrectStage",
     "DebugPipeline",
     "DetectStage",
+    "DiagnoseLoop",
     "ENGINE_NAMES",
+    "RoundRecord",
     "GENERATOR_BUILDERS",
     "LocalizeStage",
     "PipelineHooks",

@@ -39,6 +39,7 @@ def expand_matrix(
     error_kinds: list[str] | None = None,
     error_seeds: list[int] | None = None,
     seeds: list[int] | None = None,
+    n_errors: list[int] | None = None,
 ) -> list[RunSpec]:
     """The cartesian spec grid over the given axes, in a fixed order.
 
@@ -48,20 +49,29 @@ def expand_matrix(
     Order is the nesting order of the arguments (designs outermost,
     seeds innermost) so a results file lines up with the grid row by
     row; no axes at all yields the single-spec matrix ``[base]``.
+    The ``n_errors`` axis scales the injected fault count (the base
+    spec's per-error ``error_kinds`` list, if any, is dropped on those
+    specs so the single ``error_kind`` can repeat to any count).
     """
     axes = [
         ("design", designs), ("strategy", strategies),
         ("engine", engines), ("error_kind", error_kinds),
         ("error_seed", error_seeds), ("seed", seeds),
+        ("n_errors", n_errors),
     ]
     names = [name for name, values in axes if values]
     pools = [values for _, values in axes if values]
     if not names:
         return [base]
-    return [
-        base.replaced(**dict(zip(names, combo)))
-        for combo in itertools.product(*pools)
-    ]
+    specs = []
+    for combo in itertools.product(*pools):
+        overrides = dict(zip(names, combo))
+        if "n_errors" in overrides and base.error_kinds is not None:
+            # an explicit per-error kind list pins the count; clear it
+            # so the axis can scale freely off the single error_kind
+            overrides.setdefault("error_kinds", None)
+        specs.append(base.replaced(**overrides))
+    return specs
 
 
 @dataclass

@@ -79,6 +79,16 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     g.add_argument("--error-kind", dest="error_kind",
                    choices=list(ERROR_KINDS))
     g.add_argument("--error-seed", type=int, dest="error_seed")
+    g.add_argument("--n-errors", type=int, dest="n_errors",
+                   help="inject this many simultaneous errors "
+                        "(distinct instances)")
+    g.add_argument("--error-kinds-list", dest="error_kinds_list",
+                   metavar="K1,K2,...",
+                   help="comma-separated per-error kinds "
+                        "(length must match --n-errors)")
+    g.add_argument("--max-rounds", type=int, dest="max_rounds",
+                   help="diagnose->fix->re-detect round budget "
+                        "(default: one round per error)")
     g.add_argument("--max-probes", type=int, dest="max_probes")
     g.add_argument("--goal-size", type=int, dest="goal_size")
     g.add_argument("--n-patterns", type=int, dest="n_patterns")
@@ -99,9 +109,9 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
 
 _SPEC_FLAGS = (
     "design", "design_seed", "blif_path", "device", "strategy", "preset",
-    "engine", "seed", "error_kind", "error_seed", "max_probes",
-    "goal_size", "n_patterns", "n_cycles", "verify", "prove_frames",
-    "correction", "cache", "cache_dir",
+    "engine", "seed", "error_kind", "error_seed", "n_errors", "max_rounds",
+    "max_probes", "goal_size", "n_patterns", "n_cycles", "verify",
+    "prove_frames", "correction", "cache", "cache_dir",
 )
 
 
@@ -120,6 +130,11 @@ def _spec_from_args(args: argparse.Namespace) -> RunSpec:
         tiling = dict(spec.tiling or {})
         tiling["n_tiles"] = args.n_tiles
         overrides["tiling"] = tiling
+    kinds = _parse_csv(getattr(args, "error_kinds_list", None))
+    if kinds is not None:
+        overrides["error_kinds"] = kinds
+        # the kind list implies the error count unless given explicitly
+        overrides.setdefault("n_errors", len(kinds))
     return spec.replaced(**overrides) if overrides else spec
 
 
@@ -140,6 +155,11 @@ def _summary_line(result: RunResult) -> str:
     )
     if result.proved is not None:
         line += f"proved={str(result.proved):<5} "
+    if result.n_errors_injected > 1:
+        line += (
+            f"errors={len(result.errors_found)}/"
+            f"{result.n_errors_injected} rounds={result.n_rounds:<2} "
+        )
     line += (
         f"probes={result.n_probes:<3} commits={result.n_commits:<3} "
         f"cache_hits={result.n_commit_cache_hits:<3} "

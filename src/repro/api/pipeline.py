@@ -2,13 +2,23 @@
 
 The paper's flow is four stages over one shared :class:`RunContext`:
 
-* :class:`DetectStage` — inject the error, build the initial
+* :class:`DetectStage` — inject the error set, build the initial
   implementation, emulate against the golden model (steps 1-3, 21);
 * :class:`LocalizeStage` — tile (steps 4-8), then cone bisection with
   observation-point commits (steps 16-19);
-* :class:`CorrectStage` — back-annotate the fix and commit it
+* :class:`CorrectStage` — produce and commit one round's fix
   (steps 11-15, 20);
 * :class:`VerifyStage` — re-emulate; the fix must clear every mismatch.
+
+Between detection and verification sits the **diagnose→fix→re-detect
+loop** (:class:`DiagnoseLoop`): localize against the current round's
+mismatches, correct the best candidate, re-run detection, and iterate
+until the design is clean or the round budget is exhausted.  A
+single-fault run takes exactly one round and reproduces the historical
+single-pass pipeline bit-for-bit; ``n_errors > 1`` runs peel one fault
+per round (or several at once, when CEGIS lands a joint repair),
+retiring the previous round's stale observation points before new
+probes go in.
 
 `EmulationDebugSession.run`, the `python -m repro` CLI, and the
 campaign runner all execute these same stage objects, which is what
@@ -17,8 +27,9 @@ only one implementation of the loop.
 
 Observers subclass :class:`PipelineHooks` and receive
 ``on_stage_start`` / ``on_stage_end`` / ``on_probe`` / ``on_commit``
-events, so progress reporting, benchmarks, and tests no longer reach
-into strategy or localizer internals.
+events (localize/correct fire once per round), so progress reporting,
+benchmarks, and tests no longer reach into strategy or localizer
+internals.
 """
 
 from __future__ import annotations
@@ -29,7 +40,8 @@ from dataclasses import dataclass, field
 from repro.arch.device import Device
 from repro.debug.correct import apply_correction
 from repro.debug.detect import Mismatch, detect_on_layout
-from repro.debug.errors import ErrorRecord, inject_error
+from repro.debug.errors import ErrorRecord, inject_errors
+from repro.debug.instrument import remove_observation_points
 from repro.debug.localize import ConeLocalizer, LocalizationResult
 from repro.debug.strategies import BaseStrategy, make_strategy
 from repro.debug.testgen import random_stimulus
@@ -62,6 +74,50 @@ class PipelineHooks:
 
 
 @dataclass
+class RoundRecord:
+    """One diagnose→fix→re-detect round of the outer loop."""
+
+    round: int
+    #: mismatches the round started from
+    n_mismatches: int
+    #: failing outputs the round's localization explained / deferred
+    group_outputs: list = field(default_factory=list)
+    deferred_outputs: list = field(default_factory=list)
+    n_probes: int = 0
+    #: final candidate instances of the round, sorted
+    candidates: list = field(default_factory=list)
+    #: instances corrected this round (error sites or CEGIS retables)
+    corrected: list = field(default_factory=list)
+    #: candidates removed by SAT pruning this round
+    sat_eliminated: int = 0
+    #: stale observation points retired before this round's probes
+    probes_retired: int = 0
+    #: mismatches remaining after the round's fix was committed
+    residual_mismatches: int = 0
+    #: localization drained its candidate set (interacting-fault masking)
+    drained: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "round": self.round,
+            "n_mismatches": self.n_mismatches,
+            "group_outputs": list(self.group_outputs),
+            "deferred_outputs": list(self.deferred_outputs),
+            "n_probes": self.n_probes,
+            "candidates": list(self.candidates),
+            "corrected": list(self.corrected),
+            "sat_eliminated": self.sat_eliminated,
+            "probes_retired": self.probes_retired,
+            "residual_mismatches": self.residual_mismatches,
+            "drained": self.drained,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RoundRecord":
+        return cls(**data)
+
+
+@dataclass
 class RunContext:
     """Shared state the stages read and grow.
 
@@ -79,6 +135,12 @@ class RunContext:
     n_cycles: int = 8
     error_kind: str = "table_bit"
     error_seed: int = 0
+    #: number of simultaneous design errors to inject
+    n_errors: int = 1
+    #: per-error kinds (``None`` = ``error_kind`` repeated)
+    error_kinds: list | None = None
+    #: diagnose→fix→re-detect round budget (``None`` = ``n_errors``)
+    max_rounds: int | None = None
     max_probes: int = 8
     goal_size: int = 4
     #: fix verification mode: "simulate" | "prove" | "both"
@@ -90,17 +152,43 @@ class RunContext:
     spec: object | None = None
 
     # -- produced by the stages ---------------------------------------
+    #: every injected error, in injection order
+    errors: list = field(default_factory=list)
+    #: the first injected error (legacy single-fault view)
     error: ErrorRecord | None = None
     initial_effort: EffortMeter = field(default_factory=EffortMeter)
     stimulus: list | None = None
     mismatches: list[Mismatch] = field(default_factory=list)
     detected: bool = False
+    #: mismatches driving the *current* diagnosis round
+    round_mismatches: list = field(default_factory=list)
+    #: per-round localizations; ``localization`` is the latest
+    localizations: list = field(default_factory=list)
     localization: LocalizationResult | None = None
+    #: completed :class:`RoundRecord` entries
+    rounds: list = field(default_factory=list)
+    #: injected instances whose round candidates contained them
+    errors_found: set = field(default_factory=set)
+    #: injected instances already corrected (oracle or CEGIS)
+    corrected: list = field(default_factory=list)
+    #: observation points still in the fabric (retired next round)
+    live_probes: list = field(default_factory=list)
+    #: golden net history shared by every round's localizer
+    golden_history: list | None = None
+    #: instances corrected by the round in flight (reset per round)
+    round_corrected: list = field(default_factory=list)
+    #: stale probes retired at the start of the round in flight
+    probes_retired_this_round: int = 0
+    #: netlist revision an in-loop successful proof was computed at
+    #: (lets VerifyStage skip recomputing it)
+    proof_revision: int | None = None
     localized_correctly: bool = False
     fix: ChangeSet | None = None
     #: how the committed fix was produced (FixSynthesis.to_dict form
     #: for CEGIS repairs; None for oracle back-annotation)
     correction_info: dict | None = None
+    #: per-round CEGIS repair descriptions
+    corrections: list = field(default_factory=list)
     remaining: list[Mismatch] = field(default_factory=list)
     fixed: bool = False
     #: bounded-equivalence verdict (None when the proof never ran)
@@ -112,7 +200,8 @@ class RunContext:
     #: the compiled kernel reproduced the counterexample's mismatch
     counterexample_confirmed: bool | None = None
     notes: list[str] = field(default_factory=list)
-    #: per-stage wall-clock seconds, keyed by stage name
+    #: per-stage wall-clock seconds, keyed by stage name (localize and
+    #: correct accumulate across rounds)
     stage_seconds: dict = field(default_factory=dict)
 
     @classmethod
@@ -139,11 +228,32 @@ class RunContext:
             engine=spec.engine, seed=spec.seed,
             n_patterns=spec.n_patterns, n_cycles=spec.n_cycles,
             error_kind=spec.error_kind, error_seed=spec.error_seed,
+            n_errors=spec.n_errors, error_kinds=spec.error_kinds,
+            max_rounds=spec.max_rounds,
             max_probes=spec.max_probes, goal_size=spec.goal_size,
             verify=spec.verify, prove_frames=spec.prove_frames,
             correction=spec.correction,
             spec=spec,
         )
+
+    def resolved_error_kinds(self) -> list[str]:
+        """The per-error kind list the injector consumes."""
+        from repro.api.spec import resolve_error_kinds
+
+        return resolve_error_kinds(
+            self.error_kind, self.error_kinds, self.n_errors
+        )
+
+    def effective_max_rounds(self) -> int:
+        """The round budget: explicit, or one round per injected error."""
+        from repro.api.spec import resolve_max_rounds
+
+        return resolve_max_rounds(self.max_rounds, self.n_errors)
+
+    def remaining_errors(self) -> list[ErrorRecord]:
+        """Injected errors not yet corrected, in injection order."""
+        done = set(self.corrected)
+        return [e for e in self.errors if e.instance not in done]
 
     def detect(self) -> list[Mismatch]:
         """Golden-vs-layout comparison on the current stimulus."""
@@ -163,12 +273,34 @@ def resolve_tile_cache(spec) -> TileConfigCache | None:
 
 
 class Stage:
-    """One pipeline stage: a name and a ``run(ctx, hooks)``."""
+    """One pipeline stage: a name and a ``run(ctx, hooks)``.
+
+    ``composite`` stages orchestrate inner stages themselves (timing
+    and hook events included); the pipeline runs them untimed.
+    """
 
     name = "stage"
+    composite = False
 
     def run(self, ctx: RunContext, hooks: PipelineHooks) -> None:
         raise NotImplementedError
+
+
+def run_timed_stage(stage: Stage, ctx: RunContext,
+                    hooks: PipelineHooks) -> None:
+    """Run one stage with hook events and accumulated wall-clock.
+
+    Shared by the pipeline's top-level walk and the diagnose loop's
+    per-round inner walk, so stage accounting has one definition.
+    """
+    hooks.on_stage_start(stage, ctx)
+    t0 = time.perf_counter()
+    stage.run(ctx, hooks)
+    seconds = time.perf_counter() - t0
+    ctx.stage_seconds[stage.name] = (
+        ctx.stage_seconds.get(stage.name, 0.0) + seconds
+    )
+    hooks.on_stage_end(stage, ctx, seconds)
 
 
 class DetectStage(Stage):
@@ -178,8 +310,11 @@ class DetectStage(Stage):
 
     def run(self, ctx: RunContext, hooks: PipelineHooks) -> None:
         netlist = ctx.packed.netlist
-        ctx.error = inject_error(netlist, ctx.error_kind,
-                                 seed=ctx.error_seed)
+        ctx.errors = inject_errors(
+            netlist, ctx.resolved_error_kinds(), seed=ctx.error_seed,
+            n_errors=ctx.n_errors,
+        )
+        ctx.error = ctx.errors[0]
         check_netlist(netlist)
         refresh_block_nets(ctx.packed)
 
@@ -198,13 +333,20 @@ class DetectStage(Stage):
             )
             mismatches = ctx.detect()
         ctx.mismatches = mismatches
+        ctx.round_mismatches = list(mismatches)
         ctx.detected = bool(mismatches)
         if not ctx.detected:
             ctx.notes.append("error never excited; not a functional bug")
 
 
 class LocalizeStage(Stage):
-    """Cone bisection over observation-point commits (steps 16-19)."""
+    """Cone bisection over observation-point commits (steps 16-19).
+
+    Runs once per diagnosis round: stale observation points from the
+    previous round are retired first (one removal commit, replayed from
+    the tile-configuration cache on repeats), then the round's mismatch
+    group is localized.
+    """
 
     name = "localize"
 
@@ -213,29 +355,60 @@ class LocalizeStage(Stage):
             return
         # steps 4-8: the tiled strategy locks its boundaries now
         ctx.strategy.prepare_for_debug()
+        self._retire_stale_probes(ctx)
+        remaining = max(1, ctx.n_errors - len(ctx.corrected))
         localizer = ConeLocalizer(
             ctx.strategy, ctx.golden, ctx.stimulus, ctx.n_patterns,
             goal_size=ctx.goal_size, engine=ctx.engine,
+            n_errors=remaining, golden_history=ctx.golden_history,
+            tolerate_drain=ctx.n_errors > 1,
+            want_pairs=ctx.correction == "cegis",
         )
-        ctx.localization = localizer.run(
-            ctx.mismatches, max_probes=ctx.max_probes,
+        ctx.golden_history = localizer.golden_history
+        result = localizer.run(
+            ctx.round_mismatches, max_probes=ctx.max_probes,
             on_probe=lambda step: hooks.on_probe(ctx, step),
         )
-        assert ctx.error is not None
-        ctx.localized_correctly = (
-            ctx.error.instance in ctx.localization.candidates
+        result.round = len(ctx.rounds) + 1
+        ctx.localization = result
+        ctx.localizations.append(result)
+        ctx.live_probes = list(result.probe_points)
+        for err in ctx.errors:
+            if err.instance in result.candidates:
+                ctx.errors_found.add(err.instance)
+        ctx.localized_correctly = all(
+            e.instance in ctx.errors_found for e in ctx.errors
         )
+
+    @staticmethod
+    def _retire_stale_probes(ctx: RunContext) -> None:
+        """Remove the previous round's observation points (one commit)."""
+        if not ctx.live_probes:
+            return
+        netlist = ctx.packed.netlist
+        changes = remove_observation_points(netlist, ctx.live_probes)
+        retired = len(ctx.live_probes)
+        ctx.live_probes = []
+        if changes.is_empty:
+            return
+        ctx.strategy.commit(changes)
+        ctx.notes.append(f"retired {retired} stale observation point(s)")
+        ctx.probes_retired_this_round = retired
 
 
 class CorrectStage(Stage):
-    """Produce and commit the fix (steps 11-15).
+    """Produce and commit one round's fix (steps 11-15).
 
     ``correction="oracle"`` replays the designer's back-annotated
-    inverse of the injected error.  ``correction="cegis"`` instead
-    synthesizes a replacement truth table for one of the localization
-    candidates from counterexamples (:mod:`repro.sat.cegis`), falling
-    back to back-annotation — with a note — when no candidate admits a
-    table repair (structural errors, empty candidate sets).
+    inverse of the *best candidate* among the still-uncorrected
+    injected errors — the one the round's localization pinned down
+    (falling back, with a note, to the next uncorrected error when the
+    candidates missed every remaining fault, so the loop always makes
+    progress).  ``correction="cegis"`` instead synthesizes replacement
+    truth tables from counterexamples (:mod:`repro.sat.cegis`) — single
+    candidates first, then SAT-ranked candidate pairs jointly — scoped
+    to the round's output group, with per-round fallback to
+    back-annotation when no candidate set admits a table repair.
     """
 
     name = "correct"
@@ -243,51 +416,277 @@ class CorrectStage(Stage):
     def run(self, ctx: RunContext, hooks: PipelineHooks) -> None:
         if not ctx.detected:
             return
-        assert ctx.error is not None
+        assert ctx.errors
         netlist = ctx.packed.netlist
-        anchor = ctx.error.instance
+        ctx.round_corrected = []
+        fix: ChangeSet | None = None
+        anchor: str | None = None
         if ctx.correction == "cegis":
             synthesized = self._synthesize(ctx)
             if synthesized is not None:
-                ctx.fix = synthesized.changes
-                ctx.correction_info = synthesized.to_dict()
+                fix = synthesized.changes
                 anchor = synthesized.instance
+                info = synthesized.to_dict()
+                ctx.corrections.append(info)
+                if ctx.correction_info is None:
+                    ctx.correction_info = info
+                for name in synthesized.instances:
+                    ctx.round_corrected.append(name)
+                    if any(e.instance == name for e in ctx.errors):
+                        if name not in ctx.corrected:
+                            ctx.corrected.append(name)
             else:
                 ctx.notes.append(
                     "cegis found no truth-table repair; "
                     "fell back to back-annotation"
                 )
-        if ctx.fix is None:
-            ctx.fix = apply_correction(netlist, ctx.error)
+        if fix is None:
+            target = self._oracle_target(ctx)
+            if target is None:
+                # no uncorrected error left (everything compensated by
+                # CEGIS retables), or restoring any of them would only
+                # regress repairs synthesized against the faulty wiring;
+                # replaying a correction would *toggle* kinds like
+                # input_swap rather than restore them, so commit
+                # nothing and let the round budget end the loop
+                ctx.notes.append(
+                    "no back-annotation would improve this round; "
+                    "skipping the fix"
+                )
+                return
+            fix = apply_correction(netlist, target)
+            anchor = target.instance
+            if target.instance not in ctx.corrected:
+                ctx.corrected.append(target.instance)
+            ctx.round_corrected.append(target.instance)
         check_netlist(netlist)
-        ctx.strategy.commit(ctx.fix, anchor_instance=anchor)
+        ctx.fix = fix
+        ctx.strategy.commit(fix, anchor_instance=anchor)
+
+    @classmethod
+    def _oracle_target(cls, ctx: RunContext) -> ErrorRecord | None:
+        """The uncorrected error the round's candidates point at, or
+        ``None`` when no back-annotation is available (or, after a
+        CEGIS repair landed elsewhere, when none would help)."""
+        remaining = ctx.remaining_errors()
+        if not remaining:
+            return None
+        candidates = (
+            ctx.localization.candidates
+            if ctx.localization is not None else set()
+        )
+        located = sorted(
+            e.instance for e in remaining if e.instance in candidates
+        )
+        by_instance = {e.instance: e for e in remaining}
+        ordered = [by_instance[name] for name in located] + [
+            e for e in remaining if e.instance not in set(located)
+        ]
+        if ctx.corrections:
+            # a CEGIS retable at a non-error site may have *compensated*
+            # an injected error; restoring that error now would break the
+            # synthesized repair.  Keep only fallbacks that demonstrably
+            # reduce the mismatch count on a scratch copy.
+            ordered = [
+                e for e in ordered
+                if cls._mismatches_after_restoring(ctx, e)
+                < len(ctx.round_mismatches)
+            ]
+            if not ordered:
+                return None
+        target = ordered[0]
+        if ctx.n_errors > 1 and target.instance not in candidates:
+            ctx.notes.append(
+                "round candidates missed every remaining error; "
+                f"back-annotating {target.instance}"
+            )
+        return target
+
+    @staticmethod
+    def _mismatches_after_restoring(ctx: RunContext, error) -> int:
+        """Mismatch count if ``error`` were back-annotated (scratch)."""
+        from repro.debug.detect import compare_runs
+        from repro.netlist.simulate import replay_outputs
+
+        scratch = ctx.packed.netlist.copy(
+            f"{ctx.packed.netlist.name}.fallback"
+        )
+        apply_correction(scratch, error)
+        return len(compare_runs(
+            replay_outputs(scratch, ctx.stimulus, ctx.n_patterns,
+                           engine=ctx.engine),
+            replay_outputs(ctx.golden, ctx.stimulus, ctx.n_patterns,
+                           engine=ctx.engine),
+        ))
 
     @staticmethod
     def _synthesize(ctx: RunContext):
         from repro.debug.correct import synthesize_lut_fix
 
-        candidates = (
-            sorted(ctx.localization.candidates)
-            if ctx.localization is not None else []
-        )
-        if not candidates or not ctx.mismatches:
+        loc = ctx.localization
+        candidates = sorted(loc.candidates) if loc is not None else []
+        if not candidates or not ctx.round_mismatches:
             return None
+        max_luts = 1
+        pair_hints = None
+        ignore_outputs = None
+        if ctx.n_errors > 1:
+            remaining = max(1, ctx.n_errors - len(ctx.corrected))
+            max_luts = min(2, remaining)
+            pair_hints = [tuple(p) for p in (loc.sat_pairs or [])]
+            # outputs deferred to later rounds belong to other faults —
+            # a repair must not be rejected for leaving them broken
+            ignore_outputs = set(loc.deferred_outputs)
         return synthesize_lut_fix(
-            ctx.packed.netlist, ctx.golden, candidates, ctx.mismatches,
-            ctx.stimulus, ctx.n_patterns, engine=ctx.engine, seed=ctx.seed,
+            ctx.packed.netlist, ctx.golden, candidates,
+            ctx.round_mismatches, ctx.stimulus, ctx.n_patterns,
+            engine=ctx.engine, seed=ctx.seed,
+            max_luts=max_luts, pair_hints=pair_hints,
+            ignore_outputs=ignore_outputs,
         )
+
+
+class DiagnoseLoop(Stage):
+    """The outer diagnose→fix→re-detect loop (multi-error round driver).
+
+    Runs :class:`LocalizeStage` then :class:`CorrectStage`, re-detects,
+    and iterates until the stimulus comes back clean or the round
+    budget (``max_rounds``, default one round per injected error) is
+    exhausted.  Inner stages are individually timed and announced
+    through the hooks exactly like top-level stages, so a single-fault
+    run observes the historical ``detect, localize, correct, verify``
+    sequence unchanged.
+
+    With ``verify="prove"|"both"`` a clean stimulus does not end the
+    loop early: while rounds remain, the bounded-equivalence proof runs
+    in-loop, and a *confirmed* counterexample is folded into the
+    stimulus as one more pattern word — re-arming detection against
+    faults the random patterns never excited.  A proof that succeeds
+    in-loop is cached (keyed on the netlist revision) so the verify
+    stage does not recompute it.
+    """
+
+    name = "diagnose"
+    composite = True
+
+    def __init__(self, localize: Stage | None = None,
+                 correct: Stage | None = None) -> None:
+        self.localize = localize if localize is not None else LocalizeStage()
+        self.correct = correct if correct is not None else CorrectStage()
+
+    def run(self, ctx: RunContext, hooks: PipelineHooks) -> None:
+        budget = ctx.effective_max_rounds()
+        while True:
+            round_no = len(ctx.rounds) + 1
+            ctx.probes_retired_this_round = 0
+            for stage in (self.localize, self.correct):
+                run_timed_stage(stage, ctx, hooks)
+            if not ctx.detected:
+                return
+            residual = ctx.detect()
+            ctx.remaining = residual
+            loc = ctx.localization
+            ctx.rounds.append(RoundRecord(
+                round=round_no,
+                n_mismatches=len(ctx.round_mismatches),
+                group_outputs=list(loc.group_outputs) if loc else [],
+                deferred_outputs=list(loc.deferred_outputs) if loc else [],
+                n_probes=loc.n_probes if loc else 0,
+                candidates=sorted(loc.candidates) if loc else [],
+                corrected=list(ctx.round_corrected),
+                sat_eliminated=loc.sat_eliminated if loc else 0,
+                probes_retired=ctx.probes_retired_this_round,
+                residual_mismatches=len(residual),
+                drained=bool(loc.drained) if loc else False,
+            ))
+            if not residual:
+                if (
+                    ctx.verify in ("prove", "both")
+                    and len(ctx.rounds) < budget
+                ):
+                    residual = self._proof_redetect(ctx)
+                if not residual:
+                    return
+            if len(ctx.rounds) >= budget:
+                if budget > 1:
+                    ctx.notes.append(
+                        f"{len(residual)} mismatches persist after "
+                        f"{len(ctx.rounds)} diagnosis rounds "
+                        "(round budget exhausted)"
+                    )
+                return
+            ctx.round_mismatches = residual
+
+    @staticmethod
+    def _proof_redetect(ctx: RunContext):
+        """Turn a failed in-loop proof into next-round mismatches.
+
+        Returns the new round's mismatches after folding a confirmed
+        counterexample into the stimulus as one extra pattern word, or
+        a false value when the design proved equivalent (the proof is
+        cached for the verify stage) or the counterexample could not be
+        reproduced by the simulation kernel.
+        """
+        from repro.sat.equiv import (
+            counterexample_mismatches,
+            prove_equivalence,
+        )
+
+        frames = ctx.prove_frames or ctx.n_cycles
+        proof = prove_equivalence(
+            ctx.packed.netlist, ctx.golden, frames=frames, seed=ctx.seed,
+        )
+        if proof.proved:
+            ctx.proved = True
+            ctx.proof = proof.to_dict()
+            ctx.proof_revision = getattr(
+                ctx.packed.netlist, "revision", None
+            )
+            return None
+        cex = proof.counterexample
+        confirmed = counterexample_mismatches(
+            ctx.packed.netlist, ctx.golden, cex, engine=ctx.engine,
+        )
+        if not confirmed:
+            ctx.notes.append(
+                "in-loop proof counterexample not reproduced by the "
+                "simulation kernel; leaving the verdict to the verify stage"
+            )
+            return None
+        # one more pattern word carrying the counterexample, alongside
+        # the random patterns every later verdict still leans on
+        pattern_bit = 1 << ctx.n_patterns
+        merged = []
+        for t in range(max(len(ctx.stimulus), len(cex))):
+            cycle = dict(ctx.stimulus[t]) if t < len(ctx.stimulus) else {}
+            if t < len(cex):
+                for port, bit in cex[t].items():
+                    if bit:
+                        cycle[port] = cycle.get(port, 0) | pattern_bit
+            merged.append(cycle)
+        ctx.stimulus = merged
+        ctx.n_patterns += 1
+        ctx.golden_history = None  # widths changed; recompute next round
+        residual = ctx.detect()
+        if residual:
+            ctx.notes.append(
+                "proof counterexample re-armed detection for round "
+                f"{len(ctx.rounds) + 1}"
+            )
+        return residual
 
 
 class VerifyStage(Stage):
     """Judge the fix (step 21): stimulus replay, SAT proof, or both.
 
-    ``verify="simulate"`` re-emulates the original stimulus (legacy
-    behavior).  ``verify="prove"`` builds a corrected-vs-golden miter
-    per output cone (:func:`repro.sat.equiv.prove_equivalence`) and
-    either proves bounded equivalence from reset or extracts a
-    counterexample, which is replayed through the compiled kernel as a
-    regression stimulus and recorded in ``remaining``.  ``"both"``
-    requires the stimulus *and* the proof to pass.
+    ``verify="simulate"`` judges the diagnose loop's final re-detection
+    (re-running it when no loop ran — custom stage lists).
+    ``verify="prove"`` builds a corrected-vs-golden miter per output
+    cone (:func:`repro.sat.equiv.prove_equivalence`) and either proves
+    bounded equivalence from reset or extracts a counterexample, which
+    is replayed through the compiled kernel as a regression stimulus
+    and recorded in ``remaining``.  ``"both"`` requires the stimulus
+    *and* the proof to pass.
     """
 
     name = "verify"
@@ -297,7 +696,8 @@ class VerifyStage(Stage):
             return
         sim_ok = True
         if ctx.verify in ("simulate", "both"):
-            ctx.remaining = ctx.detect()
+            if not ctx.rounds:
+                ctx.remaining = ctx.detect()
             sim_ok = not ctx.remaining
             if not sim_ok:
                 ctx.notes.append(
@@ -316,6 +716,13 @@ class VerifyStage(Stage):
             prove_equivalence,
         )
 
+        revision = getattr(ctx.packed.netlist, "revision", None)
+        if (
+            ctx.proved
+            and ctx.proof is not None
+            and ctx.proof_revision == revision
+        ):
+            return  # the diagnose loop already proved this netlist
         frames = ctx.prove_frames or ctx.n_cycles
         proof = prove_equivalence(
             ctx.packed.netlist, ctx.golden, frames=frames, seed=ctx.seed,
@@ -341,11 +748,16 @@ class VerifyStage(Stage):
 
 
 def default_stages() -> tuple[Stage, ...]:
-    return (DetectStage(), LocalizeStage(), CorrectStage(), VerifyStage())
+    return (DetectStage(), DiagnoseLoop(), VerifyStage())
 
 
 class DebugPipeline:
-    """Runs stages over a context, timing each and firing hooks."""
+    """Runs stages over a context, timing each and firing hooks.
+
+    Composite stages (the diagnose loop) time and announce their inner
+    stages themselves, so per-stage accounting stays keyed by
+    ``detect`` / ``localize`` / ``correct`` / ``verify``.
+    """
 
     def __init__(self, stages: tuple[Stage, ...] | None = None,
                  hooks: PipelineHooks | None = None) -> None:
@@ -360,12 +772,10 @@ class DebugPipeline:
         )
         try:
             for stage in self.stages:
-                hooks.on_stage_start(stage, ctx)
-                t0 = time.perf_counter()
-                stage.run(ctx, hooks)
-                seconds = time.perf_counter() - t0
-                ctx.stage_seconds[stage.name] = seconds
-                hooks.on_stage_end(stage, ctx, seconds)
+                if stage.composite:
+                    stage.run(ctx, hooks)
+                    continue
+                run_timed_stage(stage, ctx, hooks)
         finally:
             ctx.strategy.commit_listener = previous_listener
         return ctx
@@ -375,7 +785,8 @@ def run_spec(spec, hooks: PipelineHooks | None = None,
              tile_cache=_UNSET, return_context: bool = False):
     """The facade: one spec in, one JSON-ready result out.
 
-    Builds the design, runs the four stages, and packages a
+    Builds the design, runs the staged pipeline (with the diagnose
+    round loop between detection and verification), and packages a
     :class:`~repro.api.result.RunResult`.  With ``return_context`` the
     materialized :class:`RunContext` is returned alongside for callers
     that need live objects (layout legality checks, benchmarks).

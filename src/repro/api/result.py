@@ -27,9 +27,22 @@ class RunResult:
     error_kind: str = ""
     error_instance: str = ""
     error_detail: str = ""
+    #: how many errors were injected (the fields above describe the
+    #: first; ``errors`` describes all of them)
+    n_errors_injected: int = 1
+    #: every injected error: {kind, instance, detail}, injection order
+    errors: list = field(default_factory=list)
     detected: bool = False
-    #: the injected error's instance is inside the final candidate set
+    #: every injected error's instance appeared in the candidate set of
+    #: some diagnosis round (single-fault: the historical meaning)
     localized: bool = False
+    #: injected instances recovered by localization, sorted
+    errors_found: list = field(default_factory=list)
+    #: per-round diagnose→fix→re-detect records (RoundRecord.to_dict)
+    rounds: list = field(default_factory=list)
+    n_rounds: int = 0
+    #: mismatches left on the stimulus after the last round's fix
+    residual_mismatches: int = 0
     fixed: bool = False
     #: bounded-equivalence verdict from ``verify="prove"|"both"``
     #: (None when the proof never ran)
@@ -40,13 +53,18 @@ class RunResult:
     counterexample: list | None = None
     #: the compiled kernel reproduced the counterexample's mismatch
     counterexample_confirmed: bool | None = None
-    #: CEGIS repair description (``correction="cegis"`` runs only)
+    #: CEGIS repair description (``correction="cegis"`` runs only;
+    #: first success — later rounds' repairs are in ``corrections``)
     correction: dict | None = None
-    #: candidates eliminated by SAT pruning (``"sat"`` strategy runs)
+    #: per-round CEGIS repair descriptions
+    corrections: list = field(default_factory=list)
+    #: candidates eliminated by SAT pruning (``"sat"`` strategy runs),
+    #: summed over rounds
     n_sat_eliminated: int = 0
-    #: final candidate instances, sorted
+    #: final candidate instances of the last round, sorted
     candidates: list = field(default_factory=list)
     #: per-probe records: probe / mismatch / candidates before & after
+    #: (+ the 1-based diagnosis round), concatenated across rounds
     probe_trajectory: list = field(default_factory=list)
     n_probes: int = 0
     n_commits: int = 0
@@ -66,27 +84,43 @@ class RunResult:
     def from_context(cls, ctx, wall_seconds: float = 0.0,
                      cache: dict | None = None) -> "RunResult":
         """Package a finished :class:`~repro.api.pipeline.RunContext`."""
-        loc = ctx.localization
+        locs = list(getattr(ctx, "localizations", []) or [])
+        if not locs and ctx.localization is not None:
+            locs = [ctx.localization]
+        loc = locs[-1] if locs else None
         trajectory = []
         loc_timings: dict = {}
         candidates: list = []
-        if loc is not None:
-            trajectory = [
+        n_probes = 0
+        n_sat_eliminated = 0
+        for one in locs:
+            trajectory.extend(
                 {
                     "probe": s.probe_instance,
                     "mismatch": s.mismatch,
                     "candidates_before": s.candidates_before,
                     "candidates_after": s.candidates_after,
+                    "round": one.round,
                 }
-                for s in loc.steps
-            ]
-            loc_timings = {k: round(v, 6) for k, v in loc.timings.items()}
+                for s in one.steps
+            )
+            n_probes += one.n_probes
+            n_sat_eliminated += one.sat_eliminated
+            for key, value in one.timings.items():
+                loc_timings[key] = loc_timings.get(key, 0.0) + value
+        loc_timings = {k: round(v, 6) for k, v in loc_timings.items()}
+        if loc is not None:
             candidates = sorted(loc.candidates)
         spec_dict = None
         design = ctx.packed.netlist.name
         if ctx.spec is not None:
             spec_dict = ctx.spec.to_dict()
             design = ctx.spec.design_label
+        errors = [
+            {"kind": e.kind, "instance": e.instance, "detail": e.detail}
+            for e in getattr(ctx, "errors", [])
+        ]
+        rounds = [r.to_dict() for r in getattr(ctx, "rounds", [])]
         return cls(
             spec=spec_dict,
             design=design,
@@ -95,20 +129,25 @@ class RunResult:
             error_kind=ctx.error.kind if ctx.error else "",
             error_instance=ctx.error.instance if ctx.error else "",
             error_detail=ctx.error.detail if ctx.error else "",
+            n_errors_injected=len(errors) or 1,
+            errors=errors,
             detected=ctx.detected,
             localized=ctx.localized_correctly,
+            errors_found=sorted(getattr(ctx, "errors_found", ())),
+            rounds=rounds,
+            n_rounds=len(rounds),
+            residual_mismatches=len(ctx.remaining),
             fixed=ctx.fixed,
             proved=ctx.proved,
             proof=ctx.proof,
             counterexample=ctx.counterexample,
             counterexample_confirmed=ctx.counterexample_confirmed,
             correction=ctx.correction_info,
-            n_sat_eliminated=(
-                loc.sat_eliminated if loc is not None else 0
-            ),
+            corrections=list(getattr(ctx, "corrections", [])),
+            n_sat_eliminated=n_sat_eliminated,
             candidates=candidates,
             probe_trajectory=trajectory,
-            n_probes=loc.n_probes if loc is not None else 0,
+            n_probes=n_probes,
             n_commits=len(ctx.strategy.commit_history),
             n_commit_cache_hits=ctx.strategy.cache_hits,
             timings={

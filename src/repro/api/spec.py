@@ -36,6 +36,24 @@ CORRECTION_MODES = ("oracle", "cegis")
 
 _DEVICE_NAMES = tuple(spec.name for spec in XC4000_FAMILY)
 
+
+def resolve_error_kinds(error_kind: str, error_kinds, n_errors: int) -> list:
+    """The per-error kind list the injector consumes.
+
+    One definition shared by :class:`RunSpec` and the pipeline's
+    ``RunContext`` so the error-model resolution rules cannot diverge.
+    """
+    if error_kinds:
+        return list(error_kinds)
+    return [error_kind] * n_errors
+
+
+def resolve_max_rounds(max_rounds, n_errors: int) -> int:
+    """Round budget: explicit, or one round per injected error."""
+    if max_rounds is not None:
+        return max_rounds
+    return max(n_errors, 1)
+
 #: keys accepted in the ``tiling`` sub-dict (TilingOptions fields)
 _TILING_KEYS = (
     "n_tiles", "tile_clbs", "tile_fraction", "area_overhead",
@@ -81,6 +99,16 @@ class RunSpec:
     #: injected error model (see ``repro.debug.ERROR_KINDS``)
     error_kind: str = "table_bit"
     error_seed: int = 0
+    #: number of simultaneous design errors to inject (distinct
+    #: instances, each cycle-safe against the previous injections)
+    n_errors: int = 1
+    #: per-error kind list (length ``n_errors``); ``None`` repeats
+    #: ``error_kind`` for every injected error
+    error_kinds: list | None = None
+    #: diagnose→fix→re-detect round budget; ``None`` allots one round
+    #: per injected error (so single-fault runs keep the historical
+    #: single-pass behavior)
+    max_rounds: int | None = None
     max_probes: int = 8
     goal_size: int = 4
     #: fix verification mode: "simulate" (legacy stimulus replay),
@@ -164,6 +192,26 @@ class RunSpec:
                 f"unknown error kind {self.error_kind!r}; valid kinds: "
                 + ", ".join(ERROR_KINDS)
             )
+        if not isinstance(self.n_errors, int) or self.n_errors < 1:
+            raise SpecError("n_errors must be an int >= 1")
+        if self.error_kinds is not None:
+            if not isinstance(self.error_kinds, list) or not self.error_kinds:
+                raise SpecError("error_kinds must be a non-empty list or null")
+            for kind in self.error_kinds:
+                if kind not in ERROR_KINDS:
+                    raise SpecError(
+                        f"unknown error kind {kind!r} in error_kinds; "
+                        "valid kinds: " + ", ".join(ERROR_KINDS)
+                    )
+            if len(self.error_kinds) != self.n_errors:
+                raise SpecError(
+                    f"error_kinds lists {len(self.error_kinds)} kinds "
+                    f"but n_errors is {self.n_errors}"
+                )
+        if self.max_rounds is not None and (
+            not isinstance(self.max_rounds, int) or self.max_rounds < 1
+        ):
+            raise SpecError("max_rounds must be an int >= 1 or null")
         if self.cache not in CACHE_POLICIES:
             raise SpecError(
                 f"unknown cache policy {self.cache!r}; valid policies: "
@@ -208,7 +256,11 @@ class RunSpec:
         out: dict = {}
         for f in fields(self):
             value = getattr(self, f.name)
-            out[f.name] = dict(value) if isinstance(value, dict) else value
+            if isinstance(value, dict):
+                value = dict(value)
+            elif isinstance(value, list):
+                value = list(value)
+            out[f.name] = value
         return out
 
     @classmethod
@@ -249,6 +301,16 @@ class RunSpec:
 
     def effort_preset(self):
         return EFFORT_PRESETS[self.preset]
+
+    def resolved_error_kinds(self) -> list:
+        """The per-error kind list the injector consumes."""
+        return resolve_error_kinds(
+            self.error_kind, self.error_kinds, self.n_errors
+        )
+
+    def effective_max_rounds(self) -> int:
+        """Round budget: explicit, or one round per injected error."""
+        return resolve_max_rounds(self.max_rounds, self.n_errors)
 
     @property
     def design_label(self) -> str:

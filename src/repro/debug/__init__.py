@@ -15,7 +15,12 @@ The paper's four-step cycle around the tiled substrate:
 * :mod:`repro.debug.session` — the end-to-end debug loop (steps 1-22).
 """
 
-from repro.debug.errors import ERROR_KINDS, ErrorRecord, inject_error
+from repro.debug.errors import (
+    ERROR_KINDS,
+    ErrorRecord,
+    inject_error,
+    inject_errors,
+)
 from repro.debug.testgen import (
     exhaustive_patterns,
     random_patterns,
@@ -24,6 +29,7 @@ from repro.debug.testgen import (
 from repro.debug.instrument import (
     add_control_point,
     add_observation_point,
+    remove_observation_points,
 )
 from repro.debug.detect import Mismatch, compare_runs
 from repro.debug.localize import ConeLocalizer
@@ -49,11 +55,13 @@ __all__ = [
     "ERROR_KINDS",
     "ErrorRecord",
     "inject_error",
+    "inject_errors",
     "exhaustive_patterns",
     "random_patterns",
     "random_stimulus",
     "add_control_point",
     "add_observation_point",
+    "remove_observation_points",
     "Mismatch",
     "compare_runs",
     "ConeLocalizer",

@@ -17,6 +17,13 @@ kind               effect
 Every injection returns an :class:`ErrorRecord` carrying the exact undo
 information; :func:`repro.debug.correct.apply_correction` replays it,
 modelling the designer's fix arriving through back-annotation.
+
+:func:`inject_errors` plants a *set* of ``k`` errors — distinct
+instances, injected in order into the already-mutated netlist, each one
+cycle-safe with respect to everything planted before it.  Stacked
+records undo cleanly in reverse order.  :func:`inject_error` is the
+one-element shim and stays bit-identical to the historical single-fault
+injector (same RNG stream, same candidate pools, same choice).
 """
 
 from __future__ import annotations
@@ -58,17 +65,74 @@ def inject_error(
     netlist: Netlist, kind: str, seed: int = 0
 ) -> ErrorRecord:
     """Plant one error of ``kind``; netlist is modified in place."""
-    if kind not in ERROR_KINDS:
+    return inject_errors(netlist, [kind], seed=seed)[0]
+
+
+def inject_errors(
+    netlist: Netlist,
+    kinds,
+    seed: int = 0,
+    n_errors: int | None = None,
+) -> list[ErrorRecord]:
+    """Plant ``n_errors`` non-overlapping errors; returns their records.
+
+    ``kinds`` is one kind name or a list of them; a single kind is
+    repeated to fill ``n_errors`` (which defaults to ``len(kinds)``).
+    Errors land on *distinct* instances — every already-faulted
+    instance is excluded from later candidate pools — and each
+    injection is cycle-safe against the netlist state the previous ones
+    produced.  The first injection draws from the exact RNG stream the
+    historical single-error injector used, so ``n_errors == 1``
+    reproduces it bit-for-bit; later injections derive independent
+    streams labelled by their index.
+    """
+    if isinstance(kinds, str):
+        kinds = [kinds]
+    kinds = list(kinds)
+    if not kinds:
+        raise DebugFlowError("need at least one error kind to inject")
+    if n_errors is None:
+        n_errors = len(kinds)
+    if n_errors < 1:
+        raise DebugFlowError(f"n_errors must be >= 1, got {n_errors}")
+    if len(kinds) == 1 and n_errors > 1:
+        kinds = kinds * n_errors
+    if len(kinds) != n_errors:
         raise DebugFlowError(
-            f"unknown error kind {kind!r}; choose from {ERROR_KINDS}"
+            f"{len(kinds)} error kinds given for n_errors={n_errors}"
         )
-    rng = make_rng(seed, "inject", kind, netlist.name)
+    for kind in kinds:
+        if kind not in ERROR_KINDS:
+            raise DebugFlowError(
+                f"unknown error kind {kind!r}; choose from {ERROR_KINDS}"
+            )
+    records: list[ErrorRecord] = []
+    used: set[str] = set()
+    for i, kind in enumerate(kinds):
+        labels = ("inject", kind, netlist.name)
+        if i:
+            labels = labels + ("multi", i)
+        rng = make_rng(seed, *labels)
+        record = _inject_one(netlist, kind, rng, used)
+        records.append(record)
+        used.add(record.instance)
+    return records
+
+
+def _inject_one(
+    netlist: Netlist, kind: str, rng, exclude: set[str]
+) -> ErrorRecord:
+    """One injection into the current netlist state, avoiding ``exclude``."""
     luts = sorted(
-        (i for i in netlist.instances() if i.kind is CellKind.LUT and i.inputs),
+        (
+            i for i in netlist.instances()
+            if i.kind is CellKind.LUT and i.inputs
+            and i.name not in exclude
+        ),
         key=lambda i: i.name,
     )
     if not luts:
-        raise DebugFlowError("netlist has no LUTs to corrupt")
+        raise DebugFlowError("netlist has no LUTs left to corrupt")
 
     if kind == "table_bit":
         inst = luts[rng.randrange(len(luts))]
@@ -80,6 +144,8 @@ def inject_error(
 
     if kind == "wrong_function":
         candidates = [i for i in luts if len(i.inputs) >= 2]
+        if not candidates:
+            raise DebugFlowError("no multi-input LUT left to corrupt")
         inst = candidates[rng.randrange(len(candidates))]
         old = inst.params["table"]
         choices = [CellKind.AND, CellKind.OR, CellKind.XOR, CellKind.NAND]
@@ -147,11 +213,16 @@ def _inject_wrong_source(netlist: Netlist, luts, rng) -> ErrorRecord:
     inst = luts[rng.randrange(len(luts))]
     pin = rng.randrange(len(inst.inputs))
     old_net = inst.inputs[pin]
+    # identity-hash membership keeps this O(nets) instead of O(pins·nets),
+    # and — because it tests the pin list as mutated by any *earlier*
+    # injection — the pool is a pure function of the current netlist
+    # state, so stacking a second error stays deterministic
+    current_inputs = set(inst.inputs)
     pool = [
         n for n in netlist.nets()
         if n.driver is not None
         and n is not old_net
-        and n not in inst.inputs
+        and n not in current_inputs
         and not n.driver.is_io
     ]
     if not pool:

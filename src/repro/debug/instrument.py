@@ -22,6 +22,7 @@ the names of the fresh IO ports.
 from __future__ import annotations
 
 from repro.errors import DebugFlowError
+from repro.netlist.cells import CellKind
 from repro.netlist.core import Net, Netlist
 from repro.tiling.eco import ChangeRecorder, ChangeSet
 
@@ -86,6 +87,49 @@ def add_observation_point(
         base_revision=base_revision,
     )
     return changes, outputs
+
+
+def remove_observation_points(
+    netlist: Netlist, names: list[str]
+) -> ChangeSet:
+    """Retire observation points by name — the inverse of
+    :func:`add_observation_point`.
+
+    Observation logic is purely additive and namespaced
+    (``obs_<name>_*`` instances plus the ``obs_probe_<name>`` /
+    ``obs_flag_<name>`` output markers), so removal deletes exactly
+    those instances and prunes the nets they drove; the functional
+    netlist is untouched.  Multi-round debug sessions call this between
+    probe rounds so stale instrumentation does not accumulate — the
+    tile-configuration cache replays the restore commit the same way it
+    replays the insertion.
+
+    Returns the removal :class:`ChangeSet` (empty when nothing matched).
+    """
+    base_revision = getattr(netlist, "revision", None)
+    removed: set[str] = set()
+    for name in names:
+        prefix = f"obs_{name}_"
+        markers = {f"po:obs_probe_{name}", f"po:obs_flag_{name}"}
+        targets = [
+            inst for inst in netlist.instances()
+            if inst.name.startswith(prefix) or inst.name in markers
+        ]
+        # sinks (output markers, FF, hold) before drivers (parity tree)
+        # keeps every intermediate state a valid netlist
+        targets.sort(
+            key=lambda i: (0 if i.kind is CellKind.OUTPUT else 1, i.name)
+        )
+        for inst in targets:
+            netlist.remove_instance(inst)
+            removed.add(inst.name)
+    if removed:
+        netlist.prune_dangling()
+    return ChangeSet(
+        description=f"retire {len(names)} observation point(s)",
+        removed_instances=removed,
+        base_revision=base_revision,
+    )
 
 
 def _parity_tree(

@@ -12,6 +12,14 @@ the error lies upstream.  The localizer mechanizes the designer:
    either the probe's cone or its complement;
 3. stop when the candidates fit the goal size or probes run out.
 
+**Multiple interacting faults** break the intersection step: outputs
+failing because of *different* errors share no common cone.  Seeding is
+therefore greedy — failing outputs are folded in sorted order and an
+output whose cone would *empty* the intersection is deferred to a later
+diagnosis round (``LocalizationResult.group_outputs`` /
+``deferred_outputs``).  With a single fault nothing is ever deferred,
+so the historical trajectories are reproduced bit-for-bit.
+
 The comparison is heuristic in the presence of reconvergent masking: a
 probe matching the golden value removes its cone even though an
 upstream error might be masked there.  Wide pattern words (default 64)
@@ -73,6 +81,24 @@ class LocalizationResult:
     #: solver queries made / refuted by the SAT pruner
     sat_checks: int = 0
     sat_unsat: int = 0
+    #: diagnosis round this localization served (1-based)
+    round: int = 1
+    #: failing outputs this round's candidate seeding explains
+    group_outputs: list[str] = field(default_factory=list)
+    #: failing outputs deferred to a later round (no common cone)
+    deferred_outputs: list[str] = field(default_factory=list)
+    #: observation-point names committed by this run (``loc<i>``) — the
+    #: session retires them before the next round's probes go in
+    probe_points: list[str] = field(default_factory=list)
+    #: SAT-feasible candidate pairs as joint two-fault explanations,
+    #: best first (multi-error diagnosis only)
+    sat_pairs: list = field(default_factory=list)
+    #: candidate k-subsets the solver refuted as joint explanations
+    sat_subsets_refuted: int = 0
+    #: probe verdicts eliminated every candidate — interacting faults
+    #: poisoned the cone logic (multi-error sessions recover by falling
+    #: back to oracle correction; single-fault runs raise instead)
+    drained: bool = False
 
     @property
     def n_probes(self) -> int:
@@ -85,7 +111,14 @@ class LocalizationResult:
 
 
 class ConeLocalizer:
-    """Drives observation-point bisection on top of a strategy."""
+    """Drives observation-point bisection on top of a strategy.
+
+    ``n_errors`` is the number of faults still believed live in the
+    DUT; it sizes the SAT pruner's cardinality bound.
+    ``golden_history`` lets multi-round sessions reuse the golden
+    net-history computation (golden model and stimulus never change
+    between rounds).
+    """
 
     def __init__(
         self,
@@ -95,6 +128,10 @@ class ConeLocalizer:
         n_patterns: int,
         goal_size: int = 4,
         engine: str = "compiled",
+        n_errors: int = 1,
+        golden_history: list[dict[str, int]] | None = None,
+        tolerate_drain: bool | None = None,
+        want_pairs: bool = False,
     ) -> None:
         self.strategy = strategy
         self.golden = golden
@@ -102,11 +139,29 @@ class ConeLocalizer:
         self.n_patterns = n_patterns
         self.goal_size = goal_size
         self.engine = engine
+        self.n_errors = max(1, n_errors)
+        #: surrender (instead of raise) when probe verdicts drain the
+        #: candidate set; defaults to on whenever several faults are live
+        self.tolerate_drain = (
+            self.n_errors > 1 if tolerate_drain is None else tolerate_drain
+        )
+        #: run the k-subset pair-ranking queries after the probe loop —
+        #: only worth the solver time when a consumer (joint CEGIS)
+        #: will read ``LocalizationResult.sat_pairs``
+        self.want_pairs = want_pairs
         self._input_names = {
             port_name(pi)
             for pi in strategy.packed.netlist.primary_inputs()
         }
-        self._golden_nets = self._golden_net_history()
+        self._golden_nets = (
+            golden_history if golden_history is not None
+            else self._golden_net_history()
+        )
+
+    @property
+    def golden_history(self) -> list[dict[str, int]]:
+        """Golden value of every net, per cycle — reusable across rounds."""
+        return self._golden_nets
 
     # ------------------------------------------------------------------
 
@@ -126,8 +181,18 @@ class ConeLocalizer:
             state = {ff.name: values[ff.inputs[0].name] for ff in flops}
         return history
 
-    def seed_candidates(self, mismatches: list[Mismatch]) -> set[str]:
-        """Intersection of the failing outputs' sequential fanin cones."""
+    def seed_candidates(
+        self, mismatches: list[Mismatch]
+    ) -> tuple[set[str], list[str], list[str]]:
+        """Greedy common-cone intersection of the failing outputs.
+
+        Returns ``(candidates, group, deferred)``: the candidate
+        instance names, the outputs whose cones were folded in, and the
+        outputs deferred because their cone shares nothing with the
+        running intersection (a *different* fault's symptom).  With one
+        fault every failing output joins the group, reproducing the
+        historical strict intersection bit-for-bit.
+        """
         if not mismatches:
             raise DebugFlowError("cannot localize without a failing output")
         netlist = self.strategy.packed.netlist
@@ -135,22 +200,34 @@ class ConeLocalizer:
             port_name(po): po for po in netlist.primary_outputs()
         }
         candidates: set[str] | None = None
+        group: list[str] = []
+        deferred: list[str] = []
         for name in sorted({m.output for m in mismatches}):
             po = po_by_name.get(name)
             if po is None:
                 continue
             cone = netlist.fanin_cone([po], stop_at_ffs=False)
-            candidates = cone if candidates is None else candidates & cone
+            if candidates is None:
+                candidates, group = cone, [name]
+            elif candidates & cone:
+                candidates &= cone
+                group.append(name)
+            else:
+                deferred.append(name)
         if not candidates:
             raise DebugFlowError("failing outputs have no common cone")
-        return {
-            n for n in candidates
-            if netlist.has_instance(n) and not netlist.instance(n).is_io
-        }
+        return (
+            {
+                n for n in candidates
+                if netlist.has_instance(n) and not netlist.instance(n).is_io
+            },
+            group,
+            deferred,
+        )
 
     def _seed_bitset(
         self, cones: ConeIndex, mismatches: list[Mismatch]
-    ) -> int:
+    ) -> tuple[int, list[str], list[str]]:
         """Bitset twin of :meth:`seed_candidates` (identical result)."""
         if not mismatches:
             raise DebugFlowError("cannot localize without a failing output")
@@ -159,15 +236,23 @@ class ConeLocalizer:
             port_name(po): po for po in netlist.primary_outputs()
         }
         candidates: int | None = None
+        group: list[str] = []
+        deferred: list[str] = []
         for name in sorted({m.output for m in mismatches}):
             po = po_by_name.get(name)
             if po is None:
                 continue
             cone = cones.fanin(po.name)
-            candidates = cone if candidates is None else candidates & cone
+            if candidates is None:
+                candidates, group = cone, [name]
+            elif candidates & cone:
+                candidates &= cone
+                group.append(name)
+            else:
+                deferred.append(name)
         if not candidates:
             raise DebugFlowError("failing outputs have no common cone")
-        return candidates & cones.logic_mask
+        return candidates & cones.logic_mask, group, deferred
 
     # ------------------------------------------------------------------
 
@@ -196,17 +281,26 @@ class ConeLocalizer:
         ops.seed(mismatches)
         timings["seed"] = time.perf_counter() - t0
         result = LocalizationResult(candidates=set(), timings=timings)
+        result.group_outputs = list(ops.group)
+        result.deferred_outputs = list(ops.deferred)
         emulator: Emulator | None = None
 
         pruner = None
+        group_mismatches = [
+            m for m in mismatches if m.output in set(ops.group)
+        ]
         matched_probes: list[str] = []
-        if getattr(self.strategy, "sat_localization", False) and mismatches:
+        if (
+            getattr(self.strategy, "sat_localization", False)
+            and group_mismatches
+        ):
             from repro.sat.diagnose import SuspectPruner
 
             timings["sat"] = 0.0
             pruner = SuspectPruner(
-                netlist, self.golden, self.stimulus, mismatches,
+                netlist, self.golden, self.stimulus, group_mismatches,
                 self._golden_nets, seed=self.strategy.seed,
+                n_errors=self.n_errors,
             )
 
         for probe_no in range(max_probes):
@@ -233,6 +327,7 @@ class ConeLocalizer:
             )
             self.strategy.commit(changes, anchor_instance=probe)
             timings["commit"] += time.perf_counter() - t0
+            result.probe_points.append(f"loc{probe_no}")
 
             t0 = time.perf_counter()
             if emulator is None:
@@ -259,14 +354,33 @@ class ConeLocalizer:
             if on_probe is not None:
                 on_probe(step)
             if after == 0:
-                raise DebugFlowError(
-                    "localization eliminated every candidate "
-                    "(reconvergent masking); rerun with more patterns"
-                )
+                if not self.tolerate_drain:
+                    raise DebugFlowError(
+                        "localization eliminated every candidate "
+                        "(reconvergent masking); rerun with more patterns"
+                    )
+                # with several live faults a matched probe may sit
+                # downstream of one fault yet masked by another, so the
+                # cone arithmetic can legitimately drain; surrender the
+                # round and let the session fall back to back-annotation
+                result.drained = True
+                break
         result.candidates = ops.names()
         if pruner is not None:
+            if (
+                self.want_pairs
+                and self.n_errors > 1
+                and len(result.candidates) > 1
+            ):
+                t0 = time.perf_counter()
+                feasible, _refuted = pruner.rank_pairs(
+                    result.candidates, matched_probes
+                )
+                result.sat_pairs = [list(pair) for pair in feasible]
+                timings["sat"] += time.perf_counter() - t0
             result.sat_checks = pruner.n_checks
             result.sat_unsat = pruner.n_unsat
+            result.sat_subsets_refuted = pruner.n_subset_refuted
         return result
 
     def _pick_probe_bitset(
@@ -338,6 +452,10 @@ class ConeLocalizer:
 class _CandidateOps:
     """Candidate-set operations the shared probe loop is written over."""
 
+    #: failing outputs folded into / deferred by the greedy seeding
+    group: list[str] = []
+    deferred: list[str] = []
+
     def seed(self, mismatches: list[Mismatch]) -> None:
         raise NotImplementedError
 
@@ -364,9 +482,13 @@ class _SetCandidateOps(_CandidateOps):
         self.localizer = localizer
         self.netlist = netlist
         self.candidates: set[str] = set()
+        self.group: list[str] = []
+        self.deferred: list[str] = []
 
     def seed(self, mismatches: list[Mismatch]) -> None:
-        self.candidates = self.localizer.seed_candidates(mismatches)
+        self.candidates, self.group, self.deferred = (
+            self.localizer.seed_candidates(mismatches)
+        )
 
     def count(self) -> int:
         return len(self.candidates)
@@ -398,9 +520,13 @@ class _BitsetCandidateOps(_CandidateOps):
         self.localizer = localizer
         self.cones = ConeIndex(netlist, stop_at_ffs=False)
         self.candidates = 0
+        self.group: list[str] = []
+        self.deferred: list[str] = []
 
     def seed(self, mismatches: list[Mismatch]) -> None:
-        self.candidates = self.localizer._seed_bitset(self.cones, mismatches)
+        self.candidates, self.group, self.deferred = (
+            self.localizer._seed_bitset(self.cones, mismatches)
+        )
 
     def count(self) -> int:
         return self.candidates.bit_count()

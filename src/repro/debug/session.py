@@ -51,8 +51,10 @@ class DebugReport:
 
     design: str
     strategy: str
+    #: the first injected error (legacy single-fault view)
     error: ErrorRecord
     detected: bool
+    #: the last round's localization (``localizations`` has them all)
     localization: LocalizationResult | None
     localized_correctly: bool
     fixed: bool
@@ -62,6 +64,12 @@ class DebugReport:
     notes: list[str] = field(default_factory=list)
     #: commits replayed from precomputed tile configurations
     n_commit_cache_hits: int = 0
+    #: every injected error, in injection order
+    errors: list = field(default_factory=list)
+    #: per-round localizations (multi-error sessions)
+    localizations: list = field(default_factory=list)
+    #: per-round diagnose→fix→re-detect records
+    rounds: list = field(default_factory=list)
 
 
 class EmulationDebugSession:
@@ -116,11 +124,19 @@ class EmulationDebugSession:
         max_probes: int = 8,
         goal_size: int = 4,
         hooks=None,
+        n_errors: int = 1,
+        error_kinds: list | None = None,
+        max_rounds: int | None = None,
     ) -> DebugReport:
-        """Inject, detect, localize, correct, verify; return the report.
+        """Inject, detect, diagnose round-by-round, verify; return the
+        report.
 
-        ``hooks`` is an optional :class:`repro.api.PipelineHooks`
-        observer (stage, probe, and commit events).
+        ``n_errors`` injects a set of simultaneous faults (kinds from
+        ``error_kinds`` or ``error_kind`` repeated); the pipeline then
+        loops localize→correct→re-detect for up to ``max_rounds``
+        rounds (default: one per error).  ``hooks`` is an optional
+        :class:`repro.api.PipelineHooks` observer (stage, probe, and
+        commit events).
         """
         from repro.api.pipeline import DebugPipeline, RunContext
 
@@ -135,6 +151,9 @@ class EmulationDebugSession:
             n_cycles=self.n_cycles,
             error_kind=error_kind,
             error_seed=error_seed,
+            n_errors=n_errors,
+            error_kinds=error_kinds,
+            max_rounds=max_rounds,
             max_probes=max_probes,
             goal_size=goal_size,
         )
@@ -169,6 +188,9 @@ def report_from_context(ctx) -> DebugReport:
         initial_effort=ctx.initial_effort,
         notes=list(ctx.notes),
         n_commit_cache_hits=ctx.strategy.cache_hits,
+        errors=list(ctx.errors),
+        localizations=list(ctx.localizations),
+        rounds=list(ctx.rounds),
     )
 
 

@@ -30,7 +30,12 @@ from repro.errors import DebugFlowError, UnknownStrategyError
 from repro.pnr.effort import EffortMeter, EffortPreset, EFFORT_PRESETS
 from repro.pnr.flow import Layout, full_place_and_route, incremental_update
 from repro.rng import derive_seed
-from repro.synth.pack import PackedDesign, extend_packing, refresh_block_nets
+from repro.synth.pack import (
+    PackedDesign,
+    extend_packing,
+    refresh_block_nets,
+    retire_instances,
+)
 from repro.tiling.cache import (
     DEFAULT_TILE_CACHE,
     TileConfigCache,
@@ -57,6 +62,7 @@ def _absorb_changes(
     Returns (changed blocks, new blocks, net indices needing routes).
     """
     changed_blocks = packed.blocks_of_instances(changes.touched_existing())
+    retire_instances(packed, changes.removed_instances)
     new_blocks = extend_packing(packed, changes.new_instances)
     new_ids, changed_ids, removed_ids = refresh_block_nets(packed)
     if layout is not None:

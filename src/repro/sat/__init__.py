@@ -28,7 +28,7 @@ Consumers live beside the flows they serve:
   :func:`repro.debug.correct.synthesize_lut_fix`.
 """
 
-from repro.sat.cnf import CNF, GateBuilder
+from repro.sat.cnf import CNF, GateBuilder, add_at_most_k
 from repro.sat.encode import CircuitEncoder
 from repro.sat.equiv import (
     ProofResult,
@@ -44,6 +44,7 @@ __all__ = [
     "ProofResult",
     "Solver",
     "SolverStats",
+    "add_at_most_k",
     "counterexample_mismatches",
     "prove_equivalence",
 ]

@@ -1,26 +1,36 @@
-"""CEGIS truth-table synthesis: solve for a LUT that repairs the DUT.
+"""CEGIS truth-table synthesis: solve for LUTs that repair the DUT.
 
 Counter-Example-Guided Inductive Synthesis over the smallest useful
-hypothesis space — the ``2**k`` truth-table bits of one suspect LUT.
-The suspect's table is replaced by free variables ``t_0..t_{2^k-1}``
-shared across every encoding; each counterexample contributes one
-unrolled copy of the DUT with the counterexample's stimulus applied as
-constants and the golden output values asserted at every cycle of its
-window.  Because the stimulus is constant, the gate builder folds each
-copy down to the handful of literals that actually depend on the
-unknown table — the CNF stays tiny no matter how large the design is.
+hypothesis space — the ``2**k`` truth-table bits of the suspect LUTs.
+Each suspect's table is replaced by free variables shared across every
+encoding; each counterexample contributes one unrolled copy of the DUT
+with the counterexample's stimulus applied as constants and the golden
+output values asserted at every cycle of its window.  Because the
+stimulus is constant, the gate builder folds each copy down to the
+handful of literals that actually depend on the unknown tables — the
+CNF stays tiny no matter how large the design is.
 
 The loop is the classic alternation, run on one incremental solver:
 
-1. **solve** — find a table consistent with every counterexample seen;
+1. **solve** — find tables consistent with every counterexample seen;
 2. **simulate-check** — retable a scratch copy and run the *full*
    multi-pattern stimulus through the simulation kernel against golden;
 3. **refine** — a surviving mismatch becomes a new counterexample
-   constraint, plus a blocking clause on the failed table so progress
-   is guaranteed even before the new constraint bites.
+   constraint, plus a blocking clause on the failed joint assignment so
+   progress is guaranteed even before the new constraint bites.
 
-UNSAT means no table at this location explains the evidence — the
-caller moves to the next suspect (or falls back to back-annotation).
+:func:`synthesize_table` repairs one LUT (the historical single-fault
+entry point); :func:`synthesize_tables` repairs several *jointly* — one
+shared solver, per-candidate table variables, one blocking clause over
+the concatenated assignment — which is what interacting multi-error
+rounds need: neither table alone clears the mismatches, but the pair
+does.  ``target_outputs``/``ignore_outputs`` scope the specification to
+the outputs a diagnosis round owns, so a repair is not rejected for
+failing to fix a *different* fault's outputs.
+
+UNSAT means no table assignment at these locations explains the
+evidence — the caller moves to the next suspect set (or falls back to
+back-annotation).
 """
 
 from __future__ import annotations
@@ -38,7 +48,7 @@ from repro.sat.solver import Solver
 
 @dataclass
 class TableSynthesis:
-    """Outcome of one suspect's CEGIS run."""
+    """Outcome of one suspect set's CEGIS run."""
 
     instance: str
     #: the verified replacement table, or None when no table works
@@ -48,6 +58,10 @@ class TableSynthesis:
     #: (cycle, output, pattern) counterexamples the loop accumulated
     counterexamples: list[tuple[int, str, int]] = field(default_factory=list)
     solver_stats: dict = field(default_factory=dict)
+    #: every retabled instance, in candidate order (joint runs)
+    instances: list[str] = field(default_factory=list)
+    #: verified tables aligned with ``instances`` (empty on failure)
+    tables: list[int] = field(default_factory=list)
 
     @property
     def succeeded(self) -> bool:
@@ -70,6 +84,7 @@ def synthesize_table(
     engine: str = "compiled",
     max_iterations: int = 12,
     seed: int = 0,
+    ignore_outputs=None,
 ) -> TableSynthesis:
     """CEGIS a replacement truth table for ``candidate`` in ``netlist``.
 
@@ -78,25 +93,75 @@ def synthesize_table(
     ``mismatches`` seed the first counterexample.  Deterministic for a
     given seed.
     """
-    inst = netlist.instance(candidate)
-    if inst.kind is not CellKind.LUT or not inst.inputs:
-        raise SatError(f"{candidate} is not a synthesizable LUT")
-    k = len(inst.inputs)
+    return synthesize_tables(
+        netlist, golden, [candidate], mismatches, stimulus, n_patterns,
+        engine=engine, max_iterations=max_iterations, seed=seed,
+        ignore_outputs=ignore_outputs,
+    )
+
+
+def synthesize_tables(
+    netlist: Netlist,
+    golden: Netlist,
+    candidates: list[str],
+    mismatches: list[Mismatch],
+    stimulus: list[dict[str, int]],
+    n_patterns: int,
+    engine: str = "compiled",
+    max_iterations: int = 12,
+    seed: int = 0,
+    ignore_outputs=None,
+) -> TableSynthesis:
+    """Jointly CEGIS replacement truth tables for every ``candidate``.
+
+    All candidate LUTs get their own table variables on one shared
+    solver; a satisfying assignment retables all of them at once and
+    must survive the full-stimulus check together.  ``ignore_outputs``
+    names primary outputs exempted from the specification (outputs a
+    *different*, not-yet-fixed error owns in a multi-fault session) —
+    they are neither asserted in counterexample encodings nor counted
+    as check failures.  With one candidate and no exemptions this is
+    bit-identical to the historical single-LUT loop.
+    """
+    candidates = list(candidates)
+    if not candidates:
+        raise SatError("CEGIS needs at least one candidate LUT")
+    insts = []
+    for name in candidates:
+        inst = netlist.instance(name)
+        if inst.kind is not CellKind.LUT or not inst.inputs:
+            raise SatError(f"{name} is not a synthesizable LUT")
+        insts.append(inst)
     if not mismatches:
         raise SatError("CEGIS needs at least one observed mismatch")
+    ignore = set(ignore_outputs or ())
+    mismatches = [m for m in mismatches if m.output not in ignore]
+    if not mismatches:
+        raise SatError("every mismatch lies on an ignored output")
 
     from repro.netlist.simulate import replay_outputs
 
     golden_out = replay_outputs(golden, stimulus, n_patterns, engine=engine)
     gb = GateBuilder(CNF())
-    table_vars = [gb.cnf.new_var() for _ in range(1 << k)]
-    solver = Solver(gb.cnf, seed=derive_seed(seed, "sat.cegis", candidate))
-    result = TableSynthesis(instance=candidate, table=None, iterations=0)
+    table_map: dict[str, list[int]] = {}
+    all_vars: list[int] = []
+    for inst in insts:
+        tvars = [gb.cnf.new_var() for _ in range(1 << len(inst.inputs))]
+        table_map[inst.name] = tvars
+        all_vars.extend(tvars)
+    solver = Solver(
+        gb.cnf,
+        seed=derive_seed(seed, "sat.cegis", "+".join(candidates)),
+    )
+    result = TableSynthesis(
+        instance=candidates[0], table=None, iterations=0,
+        instances=list(candidates),
+    )
 
     def add_counterexample(cycle: int, pattern: int) -> None:
         _encode_counterexample(
-            gb, netlist, golden, candidate, table_vars,
-            stimulus, pattern, cycle, golden_out,
+            gb, netlist, golden, table_map,
+            stimulus, pattern, cycle, golden_out, ignore,
         )
 
     first_cycle, first_output, first_pattern = _first_failure(mismatches)
@@ -104,31 +169,39 @@ def synthesize_table(
     add_counterexample(first_cycle, first_pattern)
 
     scratch = netlist.copy(f"{netlist.name}.cegis")
-    scratch_inst = scratch.instance(candidate)
+    scratch_insts = [scratch.instance(name) for name in candidates]
     while result.iterations < max_iterations:
         result.iterations += 1
         if not solver.solve():
-            break  # no table is consistent with the evidence
-        table = 0
-        for m, var in enumerate(table_vars):
-            if solver.lit_true(var):
-                table |= 1 << m
-        scratch.set_params(scratch_inst, {"table": table})
+            break  # no table assignment is consistent with the evidence
+        tables = []
+        for inst in insts:
+            table = 0
+            for m, var in enumerate(table_map[inst.name]):
+                if solver.lit_true(var):
+                    table |= 1 << m
+            tables.append(table)
+        for scratch_inst, table in zip(scratch_insts, tables):
+            scratch.set_params(scratch_inst, {"table": table})
         remaining = _check_against_golden(
-            scratch, golden_out, stimulus, n_patterns, engine
+            scratch, golden_out, stimulus, n_patterns, engine, ignore
         )
         if not remaining:
-            result.table = table
+            result.table = tables[0]
+            result.tables = tables
             break
         cycle, output, pattern = _first_failure(remaining)
         result.counterexamples.append((cycle, output, pattern))
         add_counterexample(cycle, pattern)
-        # block the exact failed table: progress even when the new
-        # counterexample window happens not to constrain it
-        gb.cnf.add_clause(
-            [-var if (table >> m) & 1 else var
-             for m, var in enumerate(table_vars)]
-        )
+        # block the exact failed joint assignment: progress even when
+        # the new counterexample window happens not to constrain it
+        blocked = []
+        for inst, table in zip(insts, tables):
+            blocked.extend(
+                -var if (table >> m) & 1 else var
+                for m, var in enumerate(table_map[inst.name])
+            )
+        gb.cnf.add_clause(blocked)
     result.solver_stats = solver.stats.snapshot()
     return result
 
@@ -143,31 +216,36 @@ def _check_against_golden(
     stimulus,
     n_patterns: int,
     engine: str,
+    ignore: set | None = None,
 ) -> list[Mismatch]:
     """Full-stimulus, all-patterns comparison of the retabled DUT."""
     from repro.netlist.simulate import replay_outputs
 
-    return compare_runs(
+    remaining = compare_runs(
         replay_outputs(scratch, stimulus, n_patterns, engine=engine),
         golden_out,
     )
+    if ignore:
+        remaining = [m for m in remaining if m.output not in ignore]
+    return remaining
 
 
 def _encode_counterexample(
     gb: GateBuilder,
     netlist: Netlist,
     golden: Netlist,
-    candidate: str,
-    table_vars: list[int],
+    table_map: dict[str, list[int]],
     stimulus,
     pattern: int,
     cycle: int,
     golden_out: list[dict[str, int]],
+    ignore: set,
 ) -> None:
     """One unrolled DUT copy under the counterexample's constants.
 
-    The suspect's output becomes the symbolic table lookup; every
-    golden functional output value over frames ``0..cycle`` is asserted.
+    Every suspect's output becomes its symbolic table lookup; every
+    golden functional output value over frames ``0..cycle`` is asserted
+    (except exempted outputs).
     """
 
     def const_input(port: str, frame: int) -> int:
@@ -175,14 +253,16 @@ def _encode_counterexample(
         return gb.const((word >> pattern) & 1)
 
     def relax(inst, frame, in_lits, lit):
-        if inst.name != candidate:
+        tvars = table_map.get(inst.name)
+        if tvars is None:
             return lit
-        return _symbolic_lut(gb, table_vars, in_lits)
+        return _symbolic_lut(gb, tvars, in_lits)
 
     enc = CircuitEncoder(netlist, gb, inputs=const_input, relax=relax)
     shared = {
         port_name(po) for po in golden.primary_outputs()
     } & set(enc.output_names())
+    shared -= ignore
     for t in range(cycle + 1):
         for port in sorted(shared):
             bit = (golden_out[t][port] >> pattern) & 1

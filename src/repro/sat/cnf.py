@@ -302,6 +302,42 @@ class GateBuilder:
         return out
 
 
+def add_at_most_k(cnf: CNF, lits, k: int) -> None:
+    """Constrain at most ``k`` of ``lits`` to be true.
+
+    Sinz's sequential-counter encoding (LTseq): auxiliary registers
+    ``s[i][j]`` mean "at least ``j+1`` of the first ``i+1`` literals are
+    true"; one clause per (literal, count) pair propagates the partial
+    sums and one blocks the overflow.  O(n·k) variables and clauses,
+    and unit propagation alone enforces the bound — which is what the
+    multi-error diagnosis queries lean on: with ``j`` selector
+    assumptions already true, propagation immediately forces the other
+    selectors false once ``j == k``.
+    """
+    lits = list(lits)
+    n = len(lits)
+    if k < 0:
+        raise SatError(f"cardinality bound must be >= 0, got {k}")
+    if k == 0:
+        for lit in lits:
+            cnf.add_clause((-lit,))
+        return
+    if n <= k:
+        return  # vacuous
+    s = [[cnf.new_var() for _ in range(k)] for _ in range(n - 1)]
+    cnf.add_clause((-lits[0], s[0][0]))
+    for j in range(1, k):
+        cnf.add_clause((-s[0][j],))
+    for i in range(1, n - 1):
+        cnf.add_clause((-lits[i], s[i][0]))
+        cnf.add_clause((-s[i - 1][0], s[i][0]))
+        for j in range(1, k):
+            cnf.add_clause((-lits[i], -s[i - 1][j - 1], s[i][j]))
+            cnf.add_clause((-s[i - 1][j], s[i][j]))
+        cnf.add_clause((-lits[i], -s[i - 1][k - 1]))
+    cnf.add_clause((-lits[n - 1], -s[n - 2][k - 1]))
+
+
 def _cofactor(table: int, k: int, j: int, value: int) -> int:
     """The (k-1)-input table with input ``j`` fixed to ``value``."""
     out = 0

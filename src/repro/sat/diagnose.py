@@ -11,13 +11,14 @@ is unrolled to the first observed failure cycle with the round's
 stimulus applied as constants (so everything upstream of the suspects
 constant-folds away), and each selected suspect LUT ``c`` is
 MUX-relaxed: its output becomes ``s_c ? free_{c,t} : original``, with
-the one-hot selector variables ``s_c`` driven by solver assumptions.
-The observations — every functional primary-output value the DUT
-actually produced up to that cycle, plus every probe that *matched*
-golden so far — are asserted as unit clauses.
+the selector variables ``s_c`` driven by solver assumptions.  The
+observations — every functional primary-output value the DUT actually
+produced up to that cycle, plus every probe that *matched* golden so
+far — are asserted as unit clauses.
 
-For one suspect at a time the solver is asked: *with only ``c`` freed,
-can the golden circuit reproduce what the DUT did?*
+**Single-fault mode** (``n_errors == 1``, the historical behavior):
+for one suspect at a time the solver is asked — *with only ``c``
+freed, can the golden circuit reproduce what the DUT did?*
 
 * **SAT** — an error influencing the observations only through ``c``
   remains possible; ``c`` stays.
@@ -27,6 +28,26 @@ can the golden circuit reproduce what the DUT did?*
   through ``c`` (computed by a reverse reachability walk over the DUT
   with ``c`` deleted) is eliminated in one stroke — including ``c``
   itself, since an error *at* ``c`` is a special case of freeing it.
+
+**Multi-fault mode** (``n_errors == k > 1``): one freed output can no
+longer explain interacting faults, so *every* eligible golden instance
+gets a selector and a sequential-counter cardinality constraint
+(:func:`repro.sat.cnf.add_at_most_k`) caps the number of simultaneous
+relaxations at ``k``.  The per-suspect query forces ``s_c`` true and
+lets the solver spend the remaining ``k-1`` frees anywhere.  UNSAT is
+then a statement about candidate *sets*: if any true error were
+dominated by ``c``, freeing ``c`` would stand in for it and the other
+true errors could claim their own selectors — the query would be SAT.
+So an UNSAT still soundly eliminates exactly the cone subset dominated
+by ``c``, for any number of injected faults up to ``k``.
+
+:meth:`SuspectPruner.rank_pairs` runs the complementary k-subset query:
+free *exactly* a candidate pair ``{a, b}`` (all other selectors
+assumed false) and ask whether the pair jointly explains every
+observation.  SAT pairs are feasible joint diagnoses, ranked for the
+CEGIS correction stage; an UNSAT refutes the *set* — it can never
+contain the complete true error set, because freeing a superset of the
+true sites always admits the DUT's actual behavior.
 
 The pruner is engine-independent (pure name sets and netlist walks) and
 deterministic: suspect selection order, pattern choice, and the seeded
@@ -40,13 +61,20 @@ from repro.debug.detect import Mismatch
 from repro.netlist.cones import ConeIndex
 from repro.netlist.core import Netlist, port_name
 from repro.rng import derive_seed
-from repro.sat.cnf import CNF, GateBuilder
+from repro.sat.cnf import CNF, GateBuilder, add_at_most_k
 from repro.sat.encode import CircuitEncoder
 from repro.sat.solver import Solver
 
 
 class SuspectPruner:
-    """Per-localization helper; one instance drives every probe round."""
+    """Per-localization helper; one instance drives every probe round.
+
+    ``n_errors`` is the number of faults the diagnosis must account for
+    simultaneously — the cardinality bound of the relaxation.
+    ``max_relax`` caps the multi-fault encoding: when the golden
+    netlist has more eligible instances than this, multi-fault pruning
+    is skipped (soundly — skipping never eliminates anything).
+    """
 
     def __init__(
         self,
@@ -57,6 +85,8 @@ class SuspectPruner:
         golden_history: list[dict[str, int]],
         max_checks: int = 4,
         seed: int = 0,
+        n_errors: int = 1,
+        max_relax: int = 1200,
     ) -> None:
         self.dut = dut
         self.golden = golden
@@ -64,6 +94,8 @@ class SuspectPruner:
         self.golden_history = golden_history
         self.max_checks = max_checks
         self.seed = seed
+        self.n_errors = max(1, n_errors)
+        self.max_relax = max_relax
         first = min(mismatches, key=lambda m: (m.cycle, m.output))
         #: observation window: frames 0..cycle inclusive
         self.cycle = first.cycle
@@ -78,6 +110,9 @@ class SuspectPruner:
         #: counters surfaced through LocalizationResult
         self.n_checks = 0
         self.n_unsat = 0
+        #: k-subset queries (pair ranking) made / refuted
+        self.n_subset_checks = 0
+        self.n_subset_refuted = 0
         self._round = 0
         # suspect scoring only reads candidate fanin cones, and probe
         # instrumentation added between rounds taps nets strictly
@@ -95,29 +130,16 @@ class SuspectPruner:
         checked = self._select_suspects(candidates)
         if not checked:
             return set()
+        relaxed = checked
+        if self.n_errors > 1:
+            relaxed = self._eligible_instances()
+            if not relaxed or len(relaxed) > self.max_relax:
+                return set()  # encoding too large; skip (sound)
         self._round += 1
-        gb = GateBuilder(CNF())
-        p = self.pattern
-
-        def const_input(port: str, frame: int) -> int:
-            word = self.stimulus[frame].get(port, 0)
-            return gb.const((word >> p) & 1)
-
-        selector = {name: gb.cnf.new_var() for name in checked}
-        free_vars: dict[tuple[str, int], int] = {}
-
-        def relax(inst, frame, in_lits, lit):
-            sel = selector.get(inst.name)
-            if sel is None:
-                return lit
-            free = free_vars.get((inst.name, frame))
-            if free is None:
-                free = gb.cnf.new_var()
-                free_vars[(inst.name, frame)] = free
-            return gb.lit_mux(sel, lit, free)
-
-        enc = CircuitEncoder(self.golden, gb, inputs=const_input, relax=relax)
-        self._assert_observations(gb, enc, matched_probes)
+        gb, enc, selector = self._build_encoding(relaxed, matched_probes)
+        if self.n_errors > 1:
+            add_at_most_k(gb.cnf, [selector[n] for n in relaxed],
+                          self.n_errors)
 
         solver = Solver(
             gb.cnf, seed=derive_seed(self.seed, "sat.diagnose", self._round)
@@ -126,9 +148,14 @@ class SuspectPruner:
         for name in checked:
             if name in eliminated:
                 continue
-            assumptions = [selector[name]] + [
-                -selector[other] for other in checked if other != name
-            ]
+            if self.n_errors == 1:
+                assumptions = [selector[name]] + [
+                    -selector[other] for other in checked if other != name
+                ]
+            else:
+                # force c freed; the cardinality constraint rations the
+                # remaining k-1 relaxations over everything else
+                assumptions = [selector[name]]
             self.n_checks += 1
             if solver.solve(assumptions):
                 continue
@@ -143,9 +170,87 @@ class SuspectPruner:
 
     # ------------------------------------------------------------------
 
-    def _select_suspects(self, candidates: set[str]) -> list[str]:
-        """The suspects worth a solver call: largest candidate fanin
-        first — the cuts whose UNSAT eliminates the most at once."""
+    def rank_pairs(
+        self,
+        candidates: set[str],
+        matched_probes: list[str],
+        limit: int = 6,
+    ) -> tuple[list[tuple[str, str]], list[tuple[str, str]]]:
+        """Judge candidate pairs as complete two-fault explanations.
+
+        Frees exactly ``{a, b}`` per query (every other selector
+        assumed false) against the full observation set.  Returns
+        ``(feasible, refuted)``: feasible pairs ordered by joint cone
+        coverage (the CEGIS correction tries them in this order),
+        refuted pairs soundly excluded as joint diagnoses.
+        """
+        eligible = [
+            name for name in self._suspect_order(candidates)
+        ][:limit]
+        if len(eligible) < 2:
+            return [], []
+        self._round += 1
+        gb, enc, selector = self._build_encoding(eligible, matched_probes)
+        solver = Solver(
+            gb.cnf,
+            seed=derive_seed(self.seed, "sat.diagnose.pairs", self._round),
+        )
+        feasible: list[tuple[str, str]] = []
+        refuted: list[tuple[str, str]] = []
+        for i in range(len(eligible)):
+            for j in range(i + 1, len(eligible)):
+                a, b = eligible[i], eligible[j]
+                assumptions = [selector[a], selector[b]] + [
+                    -selector[c] for c in eligible if c not in (a, b)
+                ]
+                self.n_subset_checks += 1
+                if solver.solve(assumptions):
+                    feasible.append((a, b))
+                else:
+                    self.n_subset_refuted += 1
+                    refuted.append((a, b))
+        return feasible, refuted
+
+    # ------------------------------------------------------------------
+
+    def _build_encoding(self, relaxed, matched_probes):
+        """Golden unrolled to the failure cycle with ``relaxed`` freed."""
+        gb = GateBuilder(CNF())
+        p = self.pattern
+
+        def const_input(port: str, frame: int) -> int:
+            word = self.stimulus[frame].get(port, 0)
+            return gb.const((word >> p) & 1)
+
+        selector = {name: gb.cnf.new_var() for name in relaxed}
+        free_vars: dict[tuple[str, int], int] = {}
+
+        def relax(inst, frame, in_lits, lit):
+            sel = selector.get(inst.name)
+            if sel is None:
+                return lit
+            free = free_vars.get((inst.name, frame))
+            if free is None:
+                free = gb.cnf.new_var()
+                free_vars[(inst.name, frame)] = free
+            return gb.lit_mux(sel, lit, free)
+
+        enc = CircuitEncoder(self.golden, gb, inputs=const_input, relax=relax)
+        self._assert_observations(gb, enc, matched_probes)
+        return gb, enc, selector
+
+    def _eligible_instances(self) -> list[str]:
+        """Every golden instance that could host a fault, sorted."""
+        out = []
+        for inst in self.golden.instances():
+            if inst.is_io or inst.is_ff or inst.output is None:
+                continue
+            out.append(inst.name)
+        out.sort()
+        return out
+
+    def _suspect_order(self, candidates: set[str]) -> list[str]:
+        """Candidates by descending candidate-cone coverage."""
         cones = self._cones
         golden = self.golden
         cand_mask = 0
@@ -164,7 +269,12 @@ class SuspectPruner:
             score = (cones.fanin(name) & cand_mask).bit_count()
             scored.append((-score, name))
         scored.sort()
-        return [name for _, name in scored[: self.max_checks]]
+        return [name for _, name in scored]
+
+    def _select_suspects(self, candidates: set[str]) -> list[str]:
+        """The suspects worth a solver call: largest candidate fanin
+        first — the cuts whose UNSAT eliminates the most at once."""
+        return self._suspect_order(candidates)[: self.max_checks]
 
     def _assert_observations(
         self, gb: GateBuilder, enc: CircuitEncoder, matched_probes: list[str]

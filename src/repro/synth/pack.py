@@ -426,6 +426,45 @@ def extend_packing(packed: PackedDesign, new_instance_names: set[str]) -> set[in
     return new_block_indices
 
 
+def retire_instances(packed: PackedDesign, removed_names) -> set[int]:
+    """Detach deleted netlist instances from the packing bookkeeping.
+
+    Called after an ECO removed instances (e.g. retiring stale
+    observation points): their ``block_of_instance`` entries are
+    dropped, their BLEs emptied, and the owning :class:`Block` records
+    rebuilt without them.  Block *indices* are positional throughout
+    placement, routing and tiling, so emptied blocks are never deleted
+    — they stay placed as zero-logic blocks whose configuration frames
+    are empty (a retired CLB/IOB site, exactly what clearing the
+    instrumentation out of a tile leaves behind).
+
+    Returns the indices of the blocks that lost instances.  Callers
+    must resolve ``blocks_of_instances`` for the removal *before* this
+    runs (the mapping is consumed here), and run
+    :func:`refresh_block_nets` after.
+    """
+    touched: set[int] = set()
+    for name in sorted(removed_names):
+        idx = packed.block_of_instance.pop(name, None)
+        if idx is None:
+            continue
+        touched.add(idx)
+        block = packed.blocks[idx]
+        if block.is_clb:
+            clb = packed._clb_by_name[block.name]
+            for ble in clb.bles:
+                if ble.lut == name:
+                    ble.lut = None
+                if ble.ff == name:
+                    ble.ff = None
+            clb.bles = [b for b in clb.bles if b.lut or b.ff]
+        packed.blocks[idx] = Block(
+            idx, block.name, block.kind,
+            tuple(n for n in block.instances if n != name),
+        )
+    return touched
+
+
 def refresh_block_nets(
     packed: PackedDesign,
 ) -> tuple[set[int], set[int], set[int]]:

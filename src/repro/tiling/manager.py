@@ -39,6 +39,7 @@ from repro.synth.pack import (
     PackedDesign,
     extend_packing,
     refresh_block_nets,
+    retire_instances,
 )
 from repro.tiling.cache import (
     DEFAULT_TILE_CACHE,
@@ -291,6 +292,7 @@ class TiledLayout:
         packed = self.packed
 
         changed_blocks = packed.blocks_of_instances(changes.touched_existing())
+        retire_instances(packed, changes.removed_instances)
         new_blocks = extend_packing(packed, changes.new_instances)
         new_clbs = {
             b for b in new_blocks if packed.blocks[b].is_clb
