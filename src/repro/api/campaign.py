@@ -83,6 +83,11 @@ class CampaignResult:
     workers: int = 1
     #: aggregate tile-cache counters at campaign end (None if disabled)
     cache: dict | None = None
+    #: campaign-level events (chaos cache corruption, abort reason,
+    #: write-back trouble) — mirrors ``RunResult.notes``
+    notes: list = field(default_factory=list)
+    #: ``on_error="abort"`` stopped the campaign before every spec ran
+    aborted: bool = False
 
     @property
     def n_runs(self) -> int:
@@ -100,15 +105,45 @@ class CampaignResult:
     def n_fixed(self) -> int:
         return sum(1 for r in self.results if r.fixed)
 
+    @property
+    def n_failed(self) -> int:
+        """Runs that ended ``failed`` or ``timeout`` (isolated, kept)."""
+        return sum(
+            1 for r in self.results if r.status in ("failed", "timeout")
+        )
+
+    @property
+    def n_degraded(self) -> int:
+        return sum(1 for r in self.results if r.status == "degraded")
+
+    @property
+    def failures(self) -> list:
+        """Flat failure view: one record per failed/timed-out run."""
+        out = []
+        for index, r in enumerate(self.results):
+            if r.status in ("failed", "timeout"):
+                out.append({
+                    "index": index,
+                    "design": r.design,
+                    "status": r.status,
+                    "failures": list(r.failures),
+                })
+        return out
+
     def to_dict(self) -> dict:
         return {
             "n_runs": self.n_runs,
             "n_detected": self.n_detected,
             "n_localized": self.n_localized,
             "n_fixed": self.n_fixed,
+            "n_failed": self.n_failed,
+            "n_degraded": self.n_degraded,
+            "failures": self.failures,
             "wall_seconds": round(self.wall_seconds, 6),
             "workers": self.workers,
             "cache": self.cache,
+            "notes": list(self.notes),
+            "aborted": self.aborted,
             "results": [r.to_dict() for r in self.results],
         }
 
@@ -119,6 +154,8 @@ class CampaignResult:
             wall_seconds=data.get("wall_seconds", 0.0),
             workers=data.get("workers", 1),
             cache=data.get("cache"),
+            notes=list(data.get("notes", [])),
+            aborted=data.get("aborted", False),
         )
 
     def save(self, path: str) -> None:
@@ -131,6 +168,10 @@ class CampaignResult:
             return cls.from_dict(json.load(fh))
 
 
+#: campaign policies when a run ends ``failed``/``timeout``
+ON_ERROR_POLICIES = ("continue", "abort")
+
+
 class CampaignRunner:
     """Runs a list of specs, optionally across worker threads.
 
@@ -139,8 +180,17 @@ class CampaignRunner:
     campaign-local cache (isolated from the rest of the process, but
     warm across the campaign's own runs), and ``"off"`` runs get none.
     Each cache in play is warmed from ``cache_dir`` once up front and
-    written back once at the end; ``CampaignResult.cache`` reports the
-    counter delta over the whole campaign.
+    written back once at the end — inside a ``try/finally``, so a run
+    that dies can no longer skip persisting the warm entries completed
+    runs accumulated; ``CampaignResult.cache`` reports the counter
+    delta over the whole campaign.
+
+    Failures are *isolated*: a run that raises (or exhausts its
+    retries) becomes a structured ``status="failed"`` result in spec
+    order and the campaign keeps going.  ``on_error="abort"`` instead
+    stops scheduling after the first failed run (results completed so
+    far are kept, the write-back still happens, and
+    ``CampaignResult.aborted`` flags the early stop).
     """
 
     def __init__(
@@ -149,12 +199,19 @@ class CampaignRunner:
         hooks: PipelineHooks | None = None,
         tile_cache: TileConfigCache | None = None,
         cache_dir: str | None = None,
+        on_error: str = "continue",
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if on_error not in ON_ERROR_POLICIES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_POLICIES}, "
+                f"got {on_error!r}"
+            )
         self.workers = workers
         self.hooks = hooks
         self.cache_dir = cache_dir
+        self.on_error = on_error
         #: caller-supplied override: used for every cache-enabled run
         self.tile_cache = tile_cache
         self._override_loaded = False
@@ -193,6 +250,60 @@ class CampaignRunner:
         return run_spec(spec, hooks=self.hooks,
                         tile_cache=self._cache_for(spec))
 
+    def _run_isolated(self, spec: RunSpec) -> RunResult:
+        """One spec, never a raise: exceptions that escape the resilient
+        executor (cache resolution, result packaging) still come back
+        as a structured ``failed`` result."""
+        try:
+            return self._run_one(spec)
+        except Exception as exc:
+            from repro.resilience.failure import RunFailure
+
+            return RunResult(
+                spec=spec.to_dict(), status="failed",
+                failures=[
+                    RunFailure.from_exception(exc, stage="campaign").to_dict()
+                ],
+                design=spec.design_label, strategy=spec.strategy,
+                engine=spec.engine, error_kind=spec.error_kind,
+            )
+
+    def _apply_cache_chaos(self, specs: list[RunSpec],
+                           notes: list) -> None:
+        """Fire any selected cache-file faults against ``cache_dir``.
+
+        Runs just before the final merge-load, so the write-back path
+        itself is exercised against a hostile file: the load must
+        cold-start (merging nothing) and the save must still produce a
+        valid file from the in-memory entries.
+        """
+        from repro.resilience.chaos import (
+            CACHE_FILE_KINDS,
+            ChaosConfig,
+            corrupt_cache_file,
+        )
+        from repro.tiling.cache import cache_file_path
+
+        seen: set[str] = set()
+        for spec in specs:
+            cfg = ChaosConfig.coerce(spec.chaos)
+            if cfg is None:
+                continue
+            for fault in cfg.select(spec):
+                if fault.kind not in CACHE_FILE_KINDS:
+                    continue
+                if fault.kind in seen:
+                    continue
+                seen.add(fault.kind)
+                if corrupt_cache_file(
+                    cache_file_path(self.cache_dir), fault.kind,
+                    seed=cfg.seed,
+                ):
+                    notes.append(
+                        f"chaos: {fault.kind} applied to the persisted "
+                        "tile cache before write-back"
+                    )
+
     def run(self, specs: list[RunSpec]) -> CampaignResult:
         specs = list(specs)
         # resolve every cache before the fan-out so disk loads happen
@@ -201,19 +312,64 @@ class CampaignRunner:
             self._cache_for(spec)
         caches = self._campaign_caches()
         before = [cache.stats() for cache in caches]
+        results: list[RunResult] = []
+        notes: list = []
+        aborted = False
         t0 = time.perf_counter()
-        if self.workers == 1 or len(specs) <= 1:
-            results = [self._run_one(spec) for spec in specs]
-        else:
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                results = list(pool.map(self._run_one, specs))
+        try:
+            if self.workers == 1 or len(specs) <= 1:
+                for index, spec in enumerate(specs):
+                    result = self._run_isolated(spec)
+                    results.append(result)
+                    if (
+                        result.status in ("failed", "timeout")
+                        and self.on_error == "abort"
+                    ):
+                        aborted = True
+                        notes.append(
+                            f"aborted after run {index} "
+                            f"({result.design}: {result.status})"
+                        )
+                        break
+            else:
+                with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                    futures = [
+                        pool.submit(self._run_isolated, spec)
+                        for spec in specs
+                    ]
+                    for index, future in enumerate(futures):
+                        if aborted and future.cancel():
+                            continue
+                        result = future.result()
+                        results.append(result)
+                        if (
+                            result.status in ("failed", "timeout")
+                            and self.on_error == "abort"
+                            and not aborted
+                        ):
+                            aborted = True
+                            notes.append(
+                                f"aborted after run {index} "
+                                f"({result.design}: {result.status})"
+                            )
+        finally:
+            # the write-back must happen even if the fan-out machinery
+            # itself raises: completed runs already paid for their warm
+            # entries, and a later campaign should start from them
+            if self.cache_dir is not None:
+                self._apply_cache_chaos(specs, notes)
+                for cache in caches:
+                    try:
+                        # merge what is already on disk so one policy's
+                        # save does not drop another's entries
+                        load_tile_cache(self.cache_dir, cache)
+                        save_tile_cache(cache, self.cache_dir)
+                    except Exception as exc:
+                        notes.append(
+                            "tile-cache write-back failed: "
+                            f"{type(exc).__name__}: {exc}"
+                        )
         wall = time.perf_counter() - t0
-        if self.cache_dir is not None:
-            for cache in caches:
-                # merge what is already on disk so one policy's save
-                # does not drop another's entries
-                load_tile_cache(self.cache_dir, cache)
-                save_tile_cache(cache, self.cache_dir)
         cache_delta = None
         if caches:
             deltas = [
@@ -233,4 +389,6 @@ class CampaignRunner:
             wall_seconds=wall,
             workers=self.workers,
             cache=cache_delta,
+            notes=notes,
+            aborted=aborted,
         )

@@ -105,13 +105,31 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     g.add_argument("--cache", choices=list(CACHE_POLICIES))
     g.add_argument("--cache-dir", dest="cache_dir", metavar="DIR",
                    help="persist the tile-config cache across invocations")
+    r = parser.add_argument_group("resilience")
+    r.add_argument("--timeout", type=float, dest="timeout_s",
+                   metavar="SECONDS",
+                   help="per-run wall-clock deadline; an expired run "
+                        "ends with status 'timeout' and partial results")
+    r.add_argument("--stage-timeout", action="append",
+                   dest="stage_timeout", metavar="STAGE=SECONDS",
+                   help="per-stage deadline (repeatable), e.g. "
+                        "--stage-timeout localize=5")
+    r.add_argument("--retries", type=int,
+                   help="re-attempts after a failed (not timed-out) "
+                        "attempt, stepping down the degradation ladder")
+    r.add_argument("--chaos", metavar="JSON",
+                   help="deterministic fault injection: a ChaosConfig "
+                        "JSON object or fault list "
+                        '(e.g. \'{"faults":[{"kind":"exception",'
+                        '"stage":"localize"}]}\')')
 
 
 _SPEC_FLAGS = (
     "design", "design_seed", "blif_path", "device", "strategy", "preset",
     "engine", "seed", "error_kind", "error_seed", "n_errors", "max_rounds",
     "max_probes", "goal_size", "n_patterns", "n_cycles", "verify",
-    "prove_frames", "correction", "cache", "cache_dir",
+    "prove_frames", "correction", "cache", "cache_dir", "timeout_s",
+    "retries",
 )
 
 
@@ -135,7 +153,35 @@ def _spec_from_args(args: argparse.Namespace) -> RunSpec:
         overrides["error_kinds"] = kinds
         # the kind list implies the error count unless given explicitly
         overrides.setdefault("n_errors", len(kinds))
+    stage_timeouts = _parse_stage_timeouts(
+        getattr(args, "stage_timeout", None))
+    if stage_timeouts is not None:
+        overrides["stage_timeouts"] = stage_timeouts
+    chaos_text = getattr(args, "chaos", None)
+    if chaos_text is not None:
+        try:
+            overrides["chaos"] = json.loads(chaos_text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"--chaos is not valid JSON: {exc}") from exc
     return spec.replaced(**overrides) if overrides else spec
+
+
+def _parse_stage_timeouts(pairs: list | None) -> dict | None:
+    if not pairs:
+        return None
+    timeouts: dict = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep or not name.strip():
+            raise ValueError(
+                f"--stage-timeout wants STAGE=SECONDS, got {pair!r}")
+        try:
+            timeouts[name.strip()] = float(value)
+        except ValueError:
+            raise ValueError(
+                f"--stage-timeout seconds must be a number, got {pair!r}"
+            ) from None
+    return timeouts
 
 
 def _parse_csv(text: str | None, convert=str) -> list | None:
@@ -153,6 +199,8 @@ def _summary_line(result: RunResult) -> str:
         f"localized={str(result.localized):<5} "
         f"fixed={str(result.fixed):<5} "
     )
+    if result.status != "ok":
+        line += f"status={result.status:<8} "
     if result.proved is not None:
         line += f"proved={str(result.proved):<5} "
     if result.n_errors_injected > 1:
@@ -207,17 +255,27 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     )
     hooks = _ProgressHooks() if args.verbose else None
     runner = CampaignRunner(workers=args.workers, hooks=hooks,
-                            cache_dir=base.cache_dir)
+                            cache_dir=base.cache_dir,
+                            on_error=args.on_error)
     campaign = runner.run(specs)
     info = sys.stderr if args.out == "-" else sys.stdout
     for result in campaign.results:
         print(_summary_line(result), file=info)
-    print(
+    summary = (
         f"{campaign.n_runs} runs, {campaign.n_detected} detected, "
-        f"{campaign.n_localized} localized, {campaign.n_fixed} fixed "
-        f"({campaign.wall_seconds:.1f}s, {campaign.workers} workers)",
-        file=info,
+        f"{campaign.n_localized} localized, {campaign.n_fixed} fixed"
     )
+    if campaign.n_failed or campaign.n_degraded:
+        summary += (
+            f", {campaign.n_failed} failed, "
+            f"{campaign.n_degraded} degraded"
+        )
+    summary += (
+        f" ({campaign.wall_seconds:.1f}s, {campaign.workers} workers)"
+    )
+    print(summary, file=info)
+    for note in campaign.notes:
+        print(f"  note: {note}", file=info)
     if campaign.cache is not None:
         print(
             "tile cache: {hits:.0f} hits / {misses:.0f} misses "
@@ -228,6 +286,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         _emit_json(campaign.to_dict(), args.out)
         if args.out != "-":
             print(f"wrote {args.out}", file=info)
+    if campaign.aborted:
+        return 1
     return 0 if campaign.n_runs else 1
 
 
@@ -340,6 +400,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated error seeds")
     p_camp.add_argument("--seeds", help="comma-separated campaign seeds")
     p_camp.add_argument("--workers", type=int, default=1)
+    p_camp.add_argument("--on-error", dest="on_error",
+                        choices=["continue", "abort"], default="continue",
+                        help="campaign reaction to a failed run "
+                             "(default: continue)")
     p_camp.add_argument("--out", metavar="PATH|-",
                         help="write the campaign results JSON")
     p_camp.add_argument("--verbose", action="store_true")
@@ -369,3 +433,13 @@ def main(argv: list[str] | None = None) -> int:
         # all user input; fail fast without a traceback
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except Exception as exc:
+        # anything else is a pipeline bug: report it structurally so
+        # scripts driving the CLI can tell "internal error" (3) apart
+        # from "bad input" (2) and "run did not fix" (1)
+        from repro.resilience.failure import RunFailure
+
+        failure = RunFailure.from_exception(exc, stage="cli")
+        print(json.dumps({"error": failure.to_dict()}, sort_keys=True),
+              file=sys.stderr)
+        return 3

@@ -47,7 +47,10 @@ from repro.debug.strategies import BaseStrategy, make_strategy
 from repro.debug.testgen import random_stimulus
 from repro.netlist.core import Netlist
 from repro.netlist.validate import check_netlist
+from repro.errors import DeadlineExceeded
 from repro.pnr.effort import EffortMeter
+from repro.resilience.budget import Deadline, check_deadline, deadline_scope
+from repro.resilience.chaos import chaos_stage_event
 from repro.synth.pack import PackedDesign, refresh_block_nets
 from repro.tiling.cache import DEFAULT_TILE_CACHE, TileConfigCache
 from repro.tiling.eco import ChangeSet
@@ -149,7 +152,14 @@ class RunContext:
     prove_frames: int | None = None
     #: fix synthesis mode: "oracle" | "cegis"
     correction: str = "oracle"
+    #: per-stage wall-clock budgets (stage name → seconds)
+    stage_timeouts: dict | None = None
     spec: object | None = None
+    #: 1-based attempt number under the resilient executor
+    attempt: int = 1
+    #: stage currently executing ("setup" before the stage walk) — the
+    #: failure taxonomy reads this when an exception surfaces
+    current_stage: str = "setup"
 
     # -- produced by the stages ---------------------------------------
     #: every injected error, in injection order
@@ -233,6 +243,7 @@ class RunContext:
             max_probes=spec.max_probes, goal_size=spec.goal_size,
             verify=spec.verify, prove_frames=spec.prove_frames,
             correction=spec.correction,
+            stage_timeouts=spec.stage_timeouts,
             spec=spec,
         )
 
@@ -292,15 +303,36 @@ def run_timed_stage(stage: Stage, ctx: RunContext,
 
     Shared by the pipeline's top-level walk and the diagnose loop's
     per-round inner walk, so stage accounting has one definition.
+
+    Stage boundaries are also the resilience substrate's yield points:
+    the cooperative run deadline is checked, armed chaos faults fire,
+    and a per-stage budget (``RunSpec.stage_timeouts``) is scoped over
+    the stage body.  Timing and the ``on_stage_end`` event land in a
+    ``finally`` so a stage that dies mid-flight still accounts for the
+    wall-clock it consumed — partial results stay truthful.
     """
     hooks.on_stage_start(stage, ctx)
-    t0 = time.perf_counter()
-    stage.run(ctx, hooks)
-    seconds = time.perf_counter() - t0
-    ctx.stage_seconds[stage.name] = (
-        ctx.stage_seconds.get(stage.name, 0.0) + seconds
+    ctx.current_stage = stage.name
+    check_deadline(stage.name)
+    stage_budget = (ctx.stage_timeouts or {}).get(stage.name)
+    stage_deadline = (
+        Deadline(stage_budget, label=f"stage:{stage.name}")
+        if stage_budget else None
     )
-    hooks.on_stage_end(stage, ctx, seconds)
+    t0 = time.perf_counter()
+    try:
+        with deadline_scope(stage_deadline):
+            # chaos faults model the stage itself misbehaving, so they
+            # fire inside its budget — an injected hang must trip the
+            # per-stage deadline, not stall before it is armed
+            chaos_stage_event(stage.name)
+            stage.run(ctx, hooks)
+    finally:
+        seconds = time.perf_counter() - t0
+        ctx.stage_seconds[stage.name] = (
+            ctx.stage_seconds.get(stage.name, 0.0) + seconds
+        )
+        hooks.on_stage_end(stage, ctx, seconds)
 
 
 class DetectStage(Stage):
@@ -577,6 +609,7 @@ class DiagnoseLoop(Stage):
     def run(self, ctx: RunContext, hooks: PipelineHooks) -> None:
         budget = ctx.effective_max_rounds()
         while True:
+            check_deadline("diagnose.round")
             round_no = len(ctx.rounds) + 1
             ctx.probes_retired_this_round = 0
             for stage in (self.localize, self.correct):
@@ -773,7 +806,19 @@ class DebugPipeline:
         try:
             for stage in self.stages:
                 if stage.composite:
-                    stage.run(ctx, hooks)
+                    # composite stages time and announce their inner
+                    # stages themselves, but deadline/chaos boundary
+                    # checks still apply to the composite as a whole
+                    ctx.current_stage = stage.name
+                    check_deadline(stage.name)
+                    budget = (ctx.stage_timeouts or {}).get(stage.name)
+                    scope = (
+                        Deadline(budget, label=f"stage:{stage.name}")
+                        if budget else None
+                    )
+                    with deadline_scope(scope):
+                        chaos_stage_event(stage.name)
+                        stage.run(ctx, hooks)
                     continue
                 run_timed_stage(stage, ctx, hooks)
         finally:
@@ -782,21 +827,55 @@ class DebugPipeline:
 
 
 def run_spec(spec, hooks: PipelineHooks | None = None,
-             tile_cache=_UNSET, return_context: bool = False):
-    """The facade: one spec in, one JSON-ready result out.
+             tile_cache=_UNSET, return_context: bool = False,
+             chaos=None):
+    """The facade: one spec in, one JSON-ready result out — always.
 
     Builds the design, runs the staged pipeline (with the diagnose
     round loop between detection and verification), and packages a
     :class:`~repro.api.result.RunResult`.  With ``return_context`` the
     materialized :class:`RunContext` is returned alongside for callers
     that need live objects (layout legality checks, benchmarks).
+
+    The executor is *resilient*: pipeline exceptions become structured
+    ``status="failed"`` results (``RunResult.failures`` carries the
+    per-attempt :class:`~repro.resilience.failure.RunFailure` records),
+    a tripped ``timeout_s``/``stage_timeouts`` budget becomes
+    ``status="timeout"`` with whatever partial results the completed
+    stages produced, and ``retries > 0`` re-attempts a failed run —
+    stepping down the degradation ladder
+    (:func:`repro.resilience.degrade.next_degraded`) when a rung
+    applies, each step recorded in ``RunResult.degradations``.  A spec
+    with no budgets, no retries, and no chaos takes a single attempt
+    down the exact historical code path, bit-identical to the pre-
+    resilience pipeline.
+
+    ``chaos`` overrides ``spec.chaos`` (the campaign runner passes its
+    own config through here); fault selection is deterministic per
+    spec, so re-running a chaos campaign reproduces the same failures.
     """
     from repro.api.result import RunResult
+    from repro.resilience.budget import backoff_seconds
+    from repro.resilience.chaos import (
+        CACHE_FILE_KINDS,
+        ChaosConfig,
+        ChaosInjector,
+        ReplayRejectingCache,
+        chaos_scope,
+        corrupt_cache_file,
+    )
+    from repro.resilience.degrade import next_degraded
+    from repro.resilience.failure import RunFailure
     from repro.tiling.cache import (
+        cache_file_path,
         load_tile_cache,
         save_tile_cache,
         stats_delta,
     )
+
+    chaos_cfg = ChaosConfig.coerce(chaos if chaos is not None else spec.chaos)
+    fired = chaos_cfg.select(spec) if chaos_cfg is not None else []
+    degradations: list = []
 
     # cache-dir persistence and the per-run stats delta only make sense
     # when this run owns its cache; a caller-supplied cache (e.g. the
@@ -806,16 +885,95 @@ def run_spec(spec, hooks: PipelineHooks | None = None,
     if owns_cache:
         tile_cache = resolve_tile_cache(spec)
         if spec.cache_dir is not None and tile_cache is not None:
+            for fault in fired:
+                # damage the persisted file *before* warming: the load
+                # must cold-start cleanly, never crash the run
+                if fault.kind in CACHE_FILE_KINDS and corrupt_cache_file(
+                    cache_file_path(spec.cache_dir), fault.kind,
+                    seed=chaos_cfg.seed,
+                ):
+                    degradations.append({
+                        "field": "cache_file", "from": "warm",
+                        "to": "cold", "stage": "setup",
+                        "chaos": fault.kind,
+                    })
             load_tile_cache(spec.cache_dir, tile_cache)
 
     cache_before = (
         tile_cache.stats()
         if owns_cache and tile_cache is not None else None
     )
-    t0 = time.perf_counter()
-    ctx = RunContext.from_spec(spec, tile_cache=tile_cache)
-    DebugPipeline(hooks=hooks).execute(ctx)
-    wall = time.perf_counter() - t0
+
+    pipeline_faults = [f for f in fired if f.kind in ("exception", "hang")]
+    injector = ChaosInjector(pipeline_faults) if pipeline_faults else None
+    reject_replay = any(f.kind == "replay_reject" for f in fired)
+
+    attempts_allowed = spec.retries + 1
+    failures: list[RunFailure] = []
+    current = spec
+    run_cache = tile_cache
+    rejecting: ReplayRejectingCache | None = None
+    ctx: RunContext | None = None
+    status = "failed"
+    attempt = 1
+    t_run = time.perf_counter()
+    for attempt in range(1, attempts_allowed + 1):
+        attempt_cache = run_cache
+        if reject_replay and attempt_cache is not None:
+            rejecting = ReplayRejectingCache(attempt_cache)
+            attempt_cache = rejecting
+        ctx = None
+        t0 = time.perf_counter()
+        try:
+            ctx = RunContext.from_spec(current, tile_cache=attempt_cache)
+            ctx.attempt = attempt
+            run_deadline = (
+                Deadline(current.timeout_s, label="run")
+                if current.timeout_s else None
+            )
+            with deadline_scope(run_deadline), chaos_scope(injector):
+                DebugPipeline(hooks=hooks).execute(ctx)
+            status = "ok"
+            break
+        except DeadlineExceeded as exc:
+            failures.append(RunFailure.from_exception(
+                exc, stage=ctx.current_stage if ctx is not None else "setup",
+                elapsed_s=time.perf_counter() - t0, attempt=attempt,
+            ))
+            # a budget is a budget: a timed-out run is not retried (the
+            # retry would burn the same wall-clock again); the partial
+            # results the completed stages produced are kept
+            status = "timeout"
+            break
+        except Exception as exc:
+            stage = ctx.current_stage if ctx is not None else "setup"
+            failures.append(RunFailure.from_exception(
+                exc, stage=stage,
+                elapsed_s=time.perf_counter() - t0, attempt=attempt,
+            ))
+            if attempt >= attempts_allowed:
+                status = "failed"
+                break
+            step = next_degraded(current, stage)
+            if step is not None:
+                current, note = step
+                degradations.append(dict(note, attempt=attempt))
+                if note["field"] == "cache":
+                    run_cache = None
+            delay = backoff_seconds(
+                attempt, seed=current.seed, base=current.retry_backoff_s
+            )
+            if delay:
+                time.sleep(delay)
+    wall = time.perf_counter() - t_run
+
+    if rejecting is not None and rejecting.denied:
+        degradations.append({
+            "field": "cache_replay", "from": "replay", "to": "fresh-pnr",
+            "stage": "commit", "denied": rejecting.denied, "chaos": True,
+        })
+    if status == "ok" and degradations:
+        status = "degraded"
 
     cache_delta = None
     if cache_before is not None:
@@ -823,8 +981,23 @@ def run_spec(spec, hooks: PipelineHooks | None = None,
         if spec.cache_dir is not None:
             save_tile_cache(tile_cache, spec.cache_dir)
 
-    result = RunResult.from_context(ctx, wall_seconds=wall,
-                                    cache=cache_delta)
+    failure_dicts = [f.to_dict() for f in failures]
+    if ctx is not None:
+        result = RunResult.from_context(
+            ctx, wall_seconds=wall, cache=cache_delta, status=status,
+            failures=failure_dicts, degradations=degradations,
+            attempts=attempt,
+        )
+    else:
+        # the run never materialized a context (design build / strategy
+        # construction failed): a minimal, spec-complete record
+        result = RunResult(
+            spec=spec.to_dict(), status=status, failures=failure_dicts,
+            degradations=degradations, attempts=attempt,
+            design=spec.design_label, strategy=spec.strategy,
+            engine=spec.engine, error_kind=spec.error_kind,
+            wall_seconds=round(wall, 6), cache=cache_delta,
+        )
     if return_context:
         return result, ctx
     return result

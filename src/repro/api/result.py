@@ -21,6 +21,18 @@ class RunResult:
 
     #: the spec that produced this run (``RunSpec.to_dict`` form)
     spec: dict | None = None
+    #: terminal state: "ok" | "degraded" | "failed" | "timeout"
+    #: (see :data:`repro.resilience.failure.RUN_STATUSES`)
+    status: str = "ok"
+    #: per-attempt :class:`repro.resilience.failure.RunFailure` records
+    #: (empty for a clean run; non-empty whenever an attempt died or
+    #: timed out, even if a retry later succeeded)
+    failures: list = field(default_factory=list)
+    #: degradation-ladder notes ({"field", "from", "to", "stage", ...})
+    #: — every fallback the run survived on, never silently swallowed
+    degradations: list = field(default_factory=list)
+    #: attempts consumed (1 + retries actually taken)
+    attempts: int = 1
     design: str = ""
     strategy: str = ""
     engine: str = ""
@@ -82,8 +94,17 @@ class RunResult:
 
     @classmethod
     def from_context(cls, ctx, wall_seconds: float = 0.0,
-                     cache: dict | None = None) -> "RunResult":
-        """Package a finished :class:`~repro.api.pipeline.RunContext`."""
+                     cache: dict | None = None, status: str = "ok",
+                     failures: list | None = None,
+                     degradations: list | None = None,
+                     attempts: int = 1) -> "RunResult":
+        """Package a finished :class:`~repro.api.pipeline.RunContext`.
+
+        ``status``/``failures``/``degradations``/``attempts`` carry the
+        resilient executor's verdict; a partially-executed context (a
+        timed-out or failed run) packages cleanly — whatever stages
+        completed contribute their trajectories and timings.
+        """
         locs = list(getattr(ctx, "localizations", []) or [])
         if not locs and ctx.localization is not None:
             locs = [ctx.localization]
@@ -123,6 +144,10 @@ class RunResult:
         rounds = [r.to_dict() for r in getattr(ctx, "rounds", [])]
         return cls(
             spec=spec_dict,
+            status=status,
+            failures=list(failures or []),
+            degradations=list(degradations or []),
+            attempts=attempts,
             design=design,
             strategy=ctx.strategy.name,
             engine=ctx.engine,
@@ -166,6 +191,11 @@ class RunResult:
         )
 
     # -- derived views -------------------------------------------------
+
+    @property
+    def completed(self) -> bool:
+        """The pipeline ran to the end (possibly on a fallback path)."""
+        return self.status in ("ok", "degraded")
 
     @property
     def localization_seconds(self) -> float:

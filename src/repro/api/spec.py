@@ -27,6 +27,8 @@ from repro.pnr.effort import EFFORT_PRESETS
 
 ENGINE_NAMES = ("compiled", "interpreted")
 CACHE_POLICIES = ("shared", "private", "off")
+#: pipeline stages a per-stage budget (``stage_timeouts``) may target
+STAGE_NAMES = ("detect", "localize", "correct", "verify", "diagnose")
 #: how VerifyStage judges the fix: stimulus replay, bounded SAT proof
 #: (miter per output cone, counterexample on failure), or both
 VERIFY_MODES = ("simulate", "prove", "both")
@@ -129,6 +131,22 @@ class RunSpec:
     cache: str = "shared"
     #: directory for cross-process cache persistence (``--cache-dir``)
     cache_dir: str | None = None
+    #: per-run wall-clock budget in seconds (``None`` = unbounded);
+    #: enforced cooperatively at stage boundaries and inside the
+    #: localizer/SAT/CEGIS loops — a trip yields ``status="timeout"``
+    #: with partial results, never a raise
+    timeout_s: float | None = None
+    #: per-stage wall-clock budgets, e.g. ``{"localize": 30.0}``
+    #: (keys from :data:`STAGE_NAMES`)
+    stage_timeouts: dict | None = None
+    #: failed-attempt retries before the run reports ``status="failed"``
+    #: (each retry steps down the degradation ladder when a rung applies)
+    retries: int = 0
+    #: base of the seed-stable exponential retry backoff (0 = no sleep)
+    retry_backoff_s: float = 0.0
+    #: chaos-harness fault injection (see
+    #: :class:`repro.resilience.chaos.ChaosConfig`); ``None`` = off
+    chaos: dict | None = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -248,6 +266,35 @@ class RunSpec:
         ):
             if not isinstance(value, int) or value < floor:
                 raise SpecError(f"{name} must be an int >= {floor}")
+        if self.timeout_s is not None and (
+            not isinstance(self.timeout_s, (int, float)) or self.timeout_s <= 0
+        ):
+            raise SpecError("timeout_s must be a positive number or null")
+        if self.stage_timeouts is not None:
+            if not isinstance(self.stage_timeouts, dict):
+                raise SpecError("stage_timeouts must be a dict or null")
+            unknown = sorted(set(self.stage_timeouts) - set(STAGE_NAMES))
+            if unknown:
+                raise SpecError(
+                    f"unknown stage_timeouts stages {unknown}; valid "
+                    "stages: " + ", ".join(STAGE_NAMES)
+                )
+            for stage, seconds in self.stage_timeouts.items():
+                if not isinstance(seconds, (int, float)) or seconds <= 0:
+                    raise SpecError(
+                        f"stage_timeouts[{stage!r}] must be a positive number"
+                    )
+        if not isinstance(self.retries, int) or self.retries < 0:
+            raise SpecError("retries must be an int >= 0")
+        if (
+            not isinstance(self.retry_backoff_s, (int, float))
+            or self.retry_backoff_s < 0
+        ):
+            raise SpecError("retry_backoff_s must be a number >= 0")
+        if self.chaos is not None:
+            from repro.resilience.chaos import ChaosConfig
+
+            ChaosConfig.coerce(self.chaos)  # raises SpecError when bad
 
     # -- serialization -------------------------------------------------
 

@@ -57,6 +57,7 @@ from repro.errors import DebugFlowError
 from repro.netlist.cones import ConeIndex
 from repro.netlist.core import Netlist, port_name
 from repro.netlist.simulate import initial_state, make_engine
+from repro.resilience.budget import check_deadline
 
 
 @dataclass
@@ -304,6 +305,7 @@ class ConeLocalizer:
             )
 
         for probe_no in range(max_probes):
+            check_deadline("localize.probe")
             if pruner is not None and ops.count() > self.goal_size:
                 t0 = time.perf_counter()
                 removed = pruner.prune(ops.names(), matched_probes)

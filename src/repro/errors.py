@@ -57,3 +57,33 @@ class SpecError(ReproError, ValueError):
 
 class EmulationError(ReproError):
     """The emulator or bitstream model detected an inconsistency."""
+
+
+class DeadlineExceeded(ReproError):
+    """A cooperative wall-clock budget ran out mid-run.
+
+    Raised by :func:`repro.resilience.budget.check_deadline` at stage
+    boundaries and inside the long compute loops (localizer probes, SAT
+    search, CEGIS iterations).  Carries enough context for a structured
+    :class:`repro.resilience.failure.RunFailure` record.
+    """
+
+    def __init__(self, where: str = "", label: str = "run",
+                 seconds: float = 0.0, elapsed: float = 0.0) -> None:
+        self.where = where
+        self.label = label
+        self.seconds = seconds
+        self.elapsed = elapsed
+        super().__init__(
+            f"deadline {label!r} ({seconds:.3f}s) exceeded after "
+            f"{elapsed:.3f}s at {where or 'stage boundary'}"
+        )
+
+
+class ChaosError(ReproError):
+    """An infrastructure fault injected by the chaos harness.
+
+    Never raised outside a run whose spec (or campaign) asked for fault
+    injection; the resilient executor turns it into a structured
+    ``failed`` result exactly like a real worker exception.
+    """

@@ -1,0 +1,56 @@
+"""Service-grade substrate for the run path: failure isolation,
+cooperative budgets, a graceful-degradation ladder, and a deterministic
+chaos harness.
+
+This package is the prerequisite for the process-pool / daemon refactor
+(ROADMAP open item 1): before campaigns fan out across processes, a
+single run must die *structurally* — a :class:`RunFailure` on a
+``failed``/``timeout``/``degraded`` result — instead of taking the
+whole campaign with it, and the failure modes themselves must be
+exercisable in CI (:mod:`repro.resilience.chaos`).
+"""
+
+from repro.resilience.budget import (
+    Deadline,
+    active_deadline,
+    backoff_seconds,
+    check_deadline,
+    deadline_scope,
+)
+from repro.resilience.chaos import (
+    CHAOS_KINDS,
+    ChaosConfig,
+    ChaosFault,
+    ChaosInjector,
+    ReplayRejectingCache,
+    chaos_scope,
+    chaos_stage_event,
+    corrupt_cache_file,
+)
+from repro.resilience.degrade import DEGRADATION_LADDER, next_degraded
+from repro.resilience.failure import (
+    RUN_STATUSES,
+    RunFailure,
+    traceback_digest,
+)
+
+__all__ = [
+    "CHAOS_KINDS",
+    "ChaosConfig",
+    "ChaosFault",
+    "ChaosInjector",
+    "DEGRADATION_LADDER",
+    "Deadline",
+    "ReplayRejectingCache",
+    "RUN_STATUSES",
+    "RunFailure",
+    "active_deadline",
+    "backoff_seconds",
+    "chaos_scope",
+    "chaos_stage_event",
+    "check_deadline",
+    "corrupt_cache_file",
+    "deadline_scope",
+    "next_degraded",
+    "traceback_digest",
+]

@@ -1,0 +1,119 @@
+"""Cooperative wall-clock budgets for the debug pipeline.
+
+Python threads cannot be preempted safely, so budgets are *cooperative*:
+a :class:`Deadline` is pushed onto a thread-local stack
+(:func:`deadline_scope`) and long-running code calls
+:func:`check_deadline` at natural yield points — stage boundaries, each
+localizer probe, every few hundred SAT search steps, each CEGIS
+iteration.  When no deadline is active the check is one thread-local
+attribute read, so the default (budget-free) path stays bit-identical
+and effectively free.
+
+Nesting composes naturally: a per-stage deadline inside a per-run
+deadline means :func:`check_deadline` raises for whichever budget runs
+out first, and the raised :class:`~repro.errors.DeadlineExceeded` names
+the budget (``run`` vs ``stage:localize``) that tripped.
+
+:func:`backoff_seconds` is the retry companion: a seed-stable
+exponential backoff (hash-derived jitter, no global RNG state) so a
+retried campaign re-executes with the exact same pacing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.errors import DeadlineExceeded
+from repro.rng import derive_seed
+
+_ACTIVE = threading.local()
+
+
+class Deadline:
+    """One wall-clock budget, armed at construction time."""
+
+    __slots__ = ("seconds", "label", "_t0")
+
+    def __init__(self, seconds: float, label: str = "run",
+                 start: float | None = None) -> None:
+        if not (isinstance(seconds, (int, float)) and seconds > 0):
+            raise ValueError(
+                f"deadline seconds must be a positive number, got {seconds!r}"
+            )
+        self.seconds = float(seconds)
+        self.label = label
+        self._t0 = time.perf_counter() if start is None else start
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def remaining(self) -> float:
+        return self.seconds - self.elapsed()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, where: str = "") -> None:
+        elapsed = self.elapsed()
+        if elapsed >= self.seconds:
+            raise DeadlineExceeded(
+                where=where, label=self.label,
+                seconds=self.seconds, elapsed=elapsed,
+            )
+
+
+def _stack() -> list:
+    stack = getattr(_ACTIVE, "stack", None)
+    if stack is None:
+        stack = _ACTIVE.stack = []
+    return stack
+
+
+@contextmanager
+def deadline_scope(deadline: Deadline | None):
+    """Arm ``deadline`` for the enclosed block (``None`` = no-op)."""
+    if deadline is None:
+        yield None
+        return
+    stack = _stack()
+    stack.append(deadline)
+    try:
+        yield deadline
+    finally:
+        stack.pop()
+
+
+def check_deadline(where: str = "") -> None:
+    """Raise :class:`DeadlineExceeded` if any armed budget ran out."""
+    stack = getattr(_ACTIVE, "stack", None)
+    if not stack:
+        return
+    for deadline in stack:
+        deadline.check(where)
+
+
+def active_deadline() -> Deadline | None:
+    """The tightest armed deadline (least time remaining), or None."""
+    stack = getattr(_ACTIVE, "stack", None)
+    if not stack:
+        return None
+    return min(stack, key=lambda d: d.remaining())
+
+
+def backoff_seconds(attempt: int, seed: int = 0, base: float = 0.0,
+                    cap: float = 2.0) -> float:
+    """Seed-stable exponential backoff before retry ``attempt + 1``.
+
+    ``base == 0`` (the spec default) disables sleeping entirely.  The
+    jitter factor lies in ``[0.5, 1.0)`` and is hash-derived from
+    ``(seed, attempt)``, so two executions of the same spec pace their
+    retries identically — determinism extends to the failure path.
+    """
+    if base <= 0:
+        return 0.0
+    raw = min(cap, base * (2 ** max(0, attempt - 1)))
+    frac = derive_seed(seed, "resilience.backoff", attempt) % 1000 / 1000.0
+    return raw * (0.5 + 0.5 * frac)

@@ -1,0 +1,96 @@
+"""`RunFailure` — the structured record of one infrastructure failure.
+
+The paper's philosophy (inject, detect, localize, correct) turned on
+our own stack needs a taxonomy first: when a pipeline run dies, the
+campaign must keep a machine-readable record instead of a traceback on
+stderr.  A :class:`RunFailure` names the pipeline stage that was
+executing, the exception class, a bounded message, a digest of the full
+traceback (stable enough to group identical failures across a million
+runs without shipping megabytes of text), the wall-clock spent, and the
+attempt number — and JSON-round-trips like every other result object.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import traceback
+from dataclasses import dataclass, fields
+
+from repro.errors import ChaosError, DeadlineExceeded
+
+#: the four terminal states of a resilient run
+RUN_STATUSES = ("ok", "degraded", "failed", "timeout")
+
+#: characters kept of an exception message (hostile inputs can embed
+#: arbitrarily large reprs in exception args)
+_MESSAGE_LIMIT = 500
+
+
+def traceback_digest(exc: BaseException) -> str:
+    """Short stable digest of an exception's formatted traceback."""
+    text = "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__)
+    )
+    return hashlib.sha256(text.encode("utf-8", "replace")).hexdigest()[:12]
+
+
+@dataclass
+class RunFailure:
+    """One failed (or timed-out) pipeline attempt, JSON-ready."""
+
+    #: pipeline stage executing when the failure surfaced
+    #: ("setup" when the run never reached the stage walk)
+    stage: str = ""
+    #: exception class name
+    error: str = ""
+    #: bounded exception message
+    message: str = ""
+    #: 12-hex-digit SHA-256 of the formatted traceback
+    traceback_digest: str = ""
+    #: wall-clock seconds the attempt had consumed
+    elapsed_s: float = 0.0
+    #: 1-based attempt number (retries increment this)
+    attempt: int = 1
+    #: the failure was injected by the chaos harness
+    chaos: bool = False
+
+    @classmethod
+    def from_exception(cls, exc: BaseException, stage: str = "",
+                       elapsed_s: float = 0.0,
+                       attempt: int = 1) -> "RunFailure":
+        message = str(exc)
+        if len(message) > _MESSAGE_LIMIT:
+            message = message[:_MESSAGE_LIMIT] + "..."
+        if not stage and isinstance(exc, DeadlineExceeded):
+            stage = exc.where
+        return cls(
+            stage=stage,
+            error=type(exc).__name__,
+            message=message,
+            traceback_digest=traceback_digest(exc),
+            elapsed_s=round(elapsed_s, 6),
+            attempt=attempt,
+            chaos=isinstance(exc, ChaosError),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "error": self.error,
+            "message": self.message,
+            "traceback_digest": self.traceback_digest,
+            "elapsed_s": self.elapsed_s,
+            "attempt": self.attempt,
+            "chaos": self.chaos,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunFailure":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown failure fields {unknown}; valid fields: "
+                + ", ".join(sorted(known))
+            )
+        return cls(**data)

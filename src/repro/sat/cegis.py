@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from repro.debug.detect import Mismatch, compare_runs
 from repro.netlist.cells import CellKind
 from repro.netlist.core import Netlist, port_name
+from repro.resilience.budget import check_deadline
 from repro.rng import derive_seed
 from repro.sat.cnf import CNF, GateBuilder, SatError
 from repro.sat.encode import CircuitEncoder
@@ -171,6 +172,7 @@ def synthesize_tables(
     scratch = netlist.copy(f"{netlist.name}.cegis")
     scratch_insts = [scratch.instance(name) for name in candidates]
     while result.iterations < max_iterations:
+        check_deadline("cegis.iteration")
         result.iterations += 1
         if not solver.solve():
             break  # no table assignment is consistent with the evidence

@@ -60,6 +60,7 @@ from __future__ import annotations
 from repro.debug.detect import Mismatch
 from repro.netlist.cones import ConeIndex
 from repro.netlist.core import Netlist, port_name
+from repro.resilience.budget import check_deadline
 from repro.rng import derive_seed
 from repro.sat.cnf import CNF, GateBuilder, add_at_most_k
 from repro.sat.encode import CircuitEncoder
@@ -146,6 +147,7 @@ class SuspectPruner:
         )
         eliminated: set[str] = set()
         for name in checked:
+            check_deadline("sat.prune")
             if name in eliminated:
                 continue
             if self.n_errors == 1:
@@ -198,6 +200,7 @@ class SuspectPruner:
         feasible: list[tuple[str, str]] = []
         refuted: list[tuple[str, str]] = []
         for i in range(len(eligible)):
+            check_deadline("sat.rank_pairs")
             for j in range(i + 1, len(eligible)):
                 a, b = eligible[i], eligible[j]
                 assumptions = [selector[a], selector[b]] + [

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from repro.debug.detect import Mismatch, compare_runs
 from repro.netlist.core import Netlist, port_name
 from repro.netlist.simulate import replay_outputs
+from repro.resilience.budget import check_deadline
 from repro.sat.cnf import CNF, GateBuilder, SatError
 from repro.sat.encode import CircuitEncoder
 from repro.sat.solver import Solver
@@ -132,6 +133,7 @@ def prove_equivalence(
     result = ProofResult(proved=True, frames=frames)
     solve = 0.0
     for name in checked:
+        check_deadline("prove.output")
         diffs = []
         for t in range(frames):
             diff = gb.lit_xor(

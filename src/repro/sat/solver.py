@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.resilience.budget import check_deadline
 from repro.rng import make_rng
 from repro.sat.cnf import CNF, SatError
 
@@ -145,7 +146,11 @@ class Solver:
         restart_no = 0
         budget = self.restart_base * _luby(restart_no)
         conflicts_here = 0
+        ticks = 0
         while True:
+            ticks += 1
+            if not ticks & 1023:
+                check_deadline("sat.solve")
             conflict = self._propagate()
             if conflict >= 0:
                 self.stats.conflicts += 1

@@ -252,6 +252,17 @@ def save_tile_cache(cache: TileConfigCache, cache_dir: str) -> int:
     return cache.save(cache_file_path(cache_dir))
 
 
+def verify_cache_file(path: str) -> int:
+    """How many entries ``path`` yields to a fresh load (0 = unusable).
+
+    Loads into a throwaway cache with the same hostile-file tolerance as
+    :meth:`TileConfigCache.load`, so callers (CI smoke checks, chaos
+    tests) can assert a write-back survived without touching any shared
+    cache state.
+    """
+    return TileConfigCache().load(path)
+
+
 # ----------------------------------------------------------------------
 # whole-design precomputed configurations
 # ----------------------------------------------------------------------

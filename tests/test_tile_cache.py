@@ -271,3 +271,104 @@ def test_load_digest_mismatch_is_ignored(tmp_path):
         pickle.dump(wrapper, fh)
     fresh = TileConfigCache()
     assert fresh.load(path) == 0
+
+def test_load_wrong_format_is_ignored(tmp_path):
+    import pickle
+
+    path = str(tmp_path / "alien.pkl")
+    with open(path, "wb") as fh:
+        pickle.dump(
+            {"format": "some-other-tool", "version": 1,
+             "sha256": "", "payload": b""},
+            fh,
+        )
+    fresh = TileConfigCache()
+    assert fresh.load(path) == 0
+    assert len(fresh) == 0
+
+
+def test_load_empty_file_is_ignored(tmp_path):
+    path = tmp_path / "empty.pkl"
+    path.write_bytes(b"")
+    fresh = TileConfigCache()
+    assert fresh.load(str(path)) == 0
+    assert len(fresh) == 0
+
+
+def test_load_flipped_payload_byte_is_ignored(tmp_path):
+    """A single flipped bit inside the payload trips the digest guard."""
+    import pickle
+
+    cache = TileConfigCache()
+    cache.store("k", TileConfig({"b": (1, 2)}, {}, {}))
+    path = str(tmp_path / "flipped.pkl")
+    cache.save(path)
+    with open(path, "rb") as fh:
+        wrapper = pickle.load(fh)
+    payload = bytearray(wrapper["payload"])
+    payload[len(payload) // 2] ^= 0x40
+    wrapper["payload"] = bytes(payload)
+    with open(path, "wb") as fh:
+        pickle.dump(wrapper, fh)
+    fresh = TileConfigCache()
+    assert fresh.load(path) == 0
+    assert len(fresh) == 0
+
+
+def test_verify_cache_file(tmp_path):
+    from repro.tiling.cache import verify_cache_file
+
+    path = str(tmp_path / "cache.pkl")
+    assert verify_cache_file(path) == 0  # missing
+    cache = TileConfigCache()
+    cache.store("a", TileConfig({}, {}, {}))
+    cache.store("b", TileConfig({}, {}, {}))
+    cache.save(path)
+    assert verify_cache_file(path) == 2
+    with open(path, "wb") as fh:
+        fh.write(b"garbage")
+    assert verify_cache_file(path) == 0
+
+
+def test_concurrent_save_load_store_stress(tmp_path):
+    """Campaign workers hammering one cache + disk file lose nothing."""
+    import os
+    import threading
+
+    path = str(tmp_path / "stress.pkl")
+    cache = TileConfigCache(max_entries=4096)
+    errors = []
+
+    def writer(worker):
+        try:
+            for n in range(25):
+                cache.store(f"w{worker}.k{n}", TileConfig({}, {}, {}))
+                if n % 5 == 0:
+                    cache.save(path)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    def reader():
+        try:
+            for _ in range(25):
+                other = TileConfigCache(max_entries=4096)
+                other.load(path)
+                cache.load(path)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=writer, args=(w,)) for w in range(4)
+    ] + [threading.Thread(target=reader) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    # every stored key survived in memory (loads only ever merge)
+    assert len(cache) == 4 * 25
+    cache.save(path)
+    fresh = TileConfigCache(max_entries=4096)
+    assert fresh.load(path) == 4 * 25
+    # atomic save leaves no temp droppings behind
+    assert [f for f in os.listdir(tmp_path) if ".tmp" in f] == []
