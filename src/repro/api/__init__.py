@@ -11,16 +11,23 @@ API surface:
   :class:`RunContext`, observable through :class:`PipelineHooks`;
 * :func:`run_spec` — one spec in, one :class:`RunResult` out;
 * :class:`CampaignRunner` / :func:`expand_matrix` — fan spec grids
-  through the pipeline with `concurrent.futures` workers;
+  through the pipeline with worker threads or supervised worker
+  processes, journaled for ``--resume``;
 * the ``python -m repro`` CLI (``run`` / ``campaign`` / ``bench`` /
-  ``report``) built on all of the above.
+  ``report`` / ``cache verify``) built on all of the above.
 
 Legacy entry points (`EmulationDebugSession`, `run_campaign`) are thin
 shims over these stages and stay bit-identical.
 """
 
-from repro.api.campaign import CampaignResult, CampaignRunner, expand_matrix
+from repro.api.campaign import (
+    EXECUTORS,
+    CampaignResult,
+    CampaignRunner,
+    expand_matrix,
+)
 from repro.api.design import GENERATOR_BUILDERS, device_for, load_bundle
+from repro.api.journal import CampaignJournal
 from repro.api.pipeline import (
     CorrectStage,
     DebugPipeline,
@@ -47,7 +54,9 @@ from repro.api.spec import (
 __all__ = [
     "CACHE_POLICIES",
     "CORRECTION_MODES",
+    "EXECUTORS",
     "VERIFY_MODES",
+    "CampaignJournal",
     "CampaignResult",
     "CampaignRunner",
     "CorrectStage",

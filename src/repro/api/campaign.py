@@ -1,12 +1,27 @@
 """`CampaignRunner` — fan a list of specs through the pipeline.
 
 A campaign is just N independent pipeline runs: each spec builds its
-own design copy, so runs share nothing but the (lock-guarded) tile
-configuration cache.  That makes the fan-out embarrassingly parallel —
-`concurrent.futures` threads by default — and deterministic: results
-come back in spec order and every run's candidates and probe
-trajectory are independent of worker count (cache replays are verified
-bit-identical to the fresh path before they are applied).
+own design copy, so runs share nothing but the tile configuration
+store.  That makes the fan-out embarrassingly parallel and
+deterministic: results come back in spec order and every run's
+candidates and probe trajectory are independent of worker count and
+executor (cache replays are verified bit-identical to the fresh path
+before they are applied).
+
+Two executors share the same contract.  ``executor="thread"`` is the
+historical in-process fan-out — cheap, GIL-bound, bit-identical to
+every prior release.  ``executor="process"`` ships each spec to a
+supervised child process (:mod:`repro.resilience.supervisor`): true
+parallelism, hard kill-based wall-clock limits, and worker death
+(crash, OOM-kill, lost heartbeat, chaos ``worker_kill``) folded into
+structured ``status="failed"`` results with stage ``"worker"`` instead
+of a dead campaign.  Workers share warm tile configurations through
+the crash-safe on-disk store under ``cache_dir``.
+
+A ``journal`` (append-only JSONL, flushed per completed run) plus
+``resume=True`` turns an interrupted campaign — SIGINT, OOM, power —
+into a restartable one: journaled runs with a completed status are
+returned verbatim and only the remainder re-executes.
 
 `expand_matrix` builds the common spec grids (designs x error seeds x
 strategies x engines) from one base spec.
@@ -16,10 +31,12 @@ from __future__ import annotations
 
 import itertools
 import json
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.api.journal import CampaignJournal
 from repro.api.pipeline import PipelineHooks, resolve_tile_cache, run_spec
 from repro.api.result import RunResult
 from repro.api.spec import RunSpec
@@ -88,6 +105,11 @@ class CampaignResult:
     notes: list = field(default_factory=list)
     #: ``on_error="abort"`` stopped the campaign before every spec ran
     aborted: bool = False
+    #: SIGINT/stop cut the campaign short (results so far are kept;
+    #: a journaled campaign resumes from here with ``--resume``)
+    interrupted: bool = False
+    #: executor that produced these results ("thread" | "process")
+    executor: str = "thread"
 
     @property
     def n_runs(self) -> int:
@@ -144,6 +166,8 @@ class CampaignResult:
             "cache": self.cache,
             "notes": list(self.notes),
             "aborted": self.aborted,
+            "interrupted": self.interrupted,
+            "executor": self.executor,
             "results": [r.to_dict() for r in self.results],
         }
 
@@ -156,6 +180,8 @@ class CampaignResult:
             cache=data.get("cache"),
             notes=list(data.get("notes", [])),
             aborted=data.get("aborted", False),
+            interrupted=data.get("interrupted", False),
+            executor=data.get("executor", "thread"),
         )
 
     def save(self, path: str) -> None:
@@ -171,9 +197,33 @@ class CampaignResult:
 #: campaign policies when a run ends ``failed``/``timeout``
 ON_ERROR_POLICIES = ("continue", "abort")
 
+#: how campaign runs execute: in-process threads (historical default,
+#: bit-identical) or supervised child processes (true parallelism,
+#: hard kills, crash isolation)
+EXECUTORS = ("thread", "process")
+
 
 class CampaignRunner:
-    """Runs a list of specs, optionally across worker threads.
+    """Runs a list of specs, optionally across worker threads or
+    supervised worker processes.
+
+    ``executor="thread"`` (default) keeps the historical in-process
+    fan-out, bit-identical to prior releases.  ``executor="process"``
+    spawns one supervised child per run
+    (:func:`repro.resilience.supervisor.run_supervised`): the
+    supervisor kills children that blow a hard wall-clock ceiling or
+    stop heartbeating, and any worker death becomes a structured
+    ``failed`` result with stage ``"worker"`` — subject to the same
+    ``on_error`` policy as in-process failures.  Process workers share
+    warm tile configurations through the on-disk store under
+    ``cache_dir`` (each worker merges on load and writes back its new
+    entries atomically).
+
+    A ``journal`` records every completed run as one flushed JSONL
+    line; with ``resume=True`` the runner first loads it and skips
+    specs whose digest already finished (``ok``/``degraded``),
+    re-executing only the rest — failed, timed-out, and never-started
+    runs.
 
     Cache policy is honored per spec: ``"shared"`` runs use the
     process-wide default cache, ``"private"`` runs share one
@@ -200,6 +250,10 @@ class CampaignRunner:
         tile_cache: TileConfigCache | None = None,
         cache_dir: str | None = None,
         on_error: str = "continue",
+        executor: str = "thread",
+        hard_timeout_s: float | None = None,
+        journal: CampaignJournal | str | None = None,
+        resume: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -208,14 +262,36 @@ class CampaignRunner:
                 f"on_error must be one of {ON_ERROR_POLICIES}, "
                 f"got {on_error!r}"
             )
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
+        if executor == "process" and hooks is not None:
+            raise ValueError(
+                "hooks observe in-process pipeline stages and cannot "
+                "cross a process boundary; use executor='thread' or "
+                "drop the hooks"
+            )
+        if isinstance(journal, str):
+            journal = CampaignJournal(journal)
+        if resume and journal is None:
+            raise ValueError("resume=True requires a journal")
         self.workers = workers
         self.hooks = hooks
         self.cache_dir = cache_dir
         self.on_error = on_error
+        self.executor = executor
+        #: hard wall-clock kill ceiling per process-executor run
+        #: (``None`` derives it from each spec's ``timeout_s``)
+        self.hard_timeout_s = hard_timeout_s
+        self.journal = journal
+        self.resume = resume
         #: caller-supplied override: used for every cache-enabled run
         self.tile_cache = tile_cache
         self._override_loaded = False
         self._policy_caches: dict[str, TileConfigCache] = {}
+        #: signals in-flight supervised workers to die on interrupt
+        self._stop = threading.Event()
 
     def _cache_for(self, spec: RunSpec) -> TileConfigCache | None:
         if spec.cache == "off":
@@ -304,65 +380,158 @@ class CampaignRunner:
                         "tile cache before write-back"
                     )
 
+    def _worker_spec(self, spec: RunSpec) -> RunSpec:
+        """The spec a supervised worker receives.
+
+        Process workers share warm tile configs only through the
+        on-disk store, so the campaign's ``cache_dir`` rides along on
+        every cache-enabled spec that did not pin its own.
+        """
+        if (
+            self.cache_dir is not None
+            and spec.cache != "off"
+            and spec.cache_dir is None
+        ):
+            return spec.replaced(cache_dir=self.cache_dir)
+        return spec
+
+    def _run_supervised(self, spec: RunSpec) -> RunResult:
+        from repro.resilience.supervisor import run_supervised
+
+        return run_supervised(
+            self._worker_spec(spec),
+            hard_timeout_s=self.hard_timeout_s,
+            stop_event=self._stop,
+        )
+
+    def _journal_append(self, spec: RunSpec, result: RunResult) -> None:
+        """Record a finished run — but never an interrupted one.
+
+        A ``WorkerInterrupted`` failure means the supervisor killed the
+        child because the *campaign* was stopping, not because the run
+        failed; journaling it would make ``--resume`` treat an unstarted
+        run as a finished failure.
+        """
+        if self.journal is None:
+            return
+        if any(
+            f.get("error") == "WorkerInterrupted" for f in result.failures
+        ):
+            return
+        self.journal.append(spec, result)
+
+    def _partition_resume(self, specs: list[RunSpec], notes: list):
+        """Split specs into journaled-complete results and pending work."""
+        finished: dict[int, RunResult] = {}
+        pending: list[tuple[int, RunSpec]] = []
+        prior = self.journal.load() if (
+            self.resume and self.journal is not None
+        ) else {}
+        for index, spec in enumerate(specs):
+            record = prior.get(spec.digest())
+            if record is not None and record.get("status") in (
+                "ok", "degraded"
+            ):
+                try:
+                    finished[index] = RunResult.from_dict(record)
+                    continue
+                except (TypeError, ValueError):
+                    pass  # journaled garbage: just re-run the spec
+            pending.append((index, spec))
+        if finished:
+            notes.append(
+                f"resume: skipped {len(finished)} journaled run(s), "
+                f"{len(pending)} to execute"
+            )
+        return finished, pending
+
     def run(self, specs: list[RunSpec]) -> CampaignResult:
         specs = list(specs)
-        # resolve every cache before the fan-out so disk loads happen
-        # exactly once and the stats deltas bracket the runs
-        for spec in specs:
-            self._cache_for(spec)
-        caches = self._campaign_caches()
-        before = [cache.stats() for cache in caches]
-        results: list[RunResult] = []
         notes: list = []
+        slots, pending = self._partition_resume(specs, notes)
+        caches: list[TileConfigCache] = []
+        before: list[dict] = []
+        if self.executor == "thread":
+            # resolve every cache before the fan-out so disk loads
+            # happen exactly once and the stats deltas bracket the runs
+            for _, spec in pending:
+                self._cache_for(spec)
+            caches = self._campaign_caches()
+            before = [cache.stats() for cache in caches]
         aborted = False
+        interrupted = False
         t0 = time.perf_counter()
+
+        run_one = (
+            self._run_supervised if self.executor == "process"
+            else self._run_isolated
+        )
+
+        def _collect(index: int, spec: RunSpec,
+                     result: RunResult) -> bool:
+            """Slot a finished run; True when the campaign must abort."""
+            slots[index] = result
+            self._journal_append(spec, result)
+            if (
+                result.status in ("failed", "timeout")
+                and self.on_error == "abort"
+            ):
+                notes.append(
+                    f"aborted after run {index} "
+                    f"({result.design}: {result.status})"
+                )
+                return True
+            return False
+
         try:
-            if self.workers == 1 or len(specs) <= 1:
-                for index, spec in enumerate(specs):
-                    result = self._run_isolated(spec)
-                    results.append(result)
-                    if (
-                        result.status in ("failed", "timeout")
-                        and self.on_error == "abort"
-                    ):
+            if self.workers == 1 or len(pending) <= 1:
+                for index, spec in pending:
+                    result = run_one(spec)
+                    if _collect(index, spec, result):
                         aborted = True
-                        notes.append(
-                            f"aborted after run {index} "
-                            f"({result.design}: {result.status})"
-                        )
                         break
             else:
                 with ThreadPoolExecutor(max_workers=self.workers) as pool:
                     futures = [
-                        pool.submit(self._run_isolated, spec)
-                        for spec in specs
+                        (index, spec, pool.submit(run_one, spec))
+                        for index, spec in pending
                     ]
-                    for index, future in enumerate(futures):
-                        if aborted and future.cancel():
-                            continue
-                        result = future.result()
-                        results.append(result)
-                        if (
-                            result.status in ("failed", "timeout")
-                            and self.on_error == "abort"
-                            and not aborted
-                        ):
-                            aborted = True
-                            notes.append(
-                                f"aborted after run {index} "
-                                f"({result.design}: {result.status})"
-                            )
+                    try:
+                        for index, spec, future in futures:
+                            if (aborted or interrupted) and future.cancel():
+                                continue
+                            result = future.result()
+                            if result.failures and all(
+                                f.get("error") == "WorkerInterrupted"
+                                for f in result.failures
+                            ):
+                                continue  # the run never really happened
+                            if _collect(index, spec, result) and not aborted:
+                                aborted = True
+                    except KeyboardInterrupt:
+                        interrupted = True
+                        self._stop.set()
+                        pool.shutdown(wait=False, cancel_futures=True)
+        except KeyboardInterrupt:
+            interrupted = True
+            self._stop.set()
         finally:
+            if interrupted:
+                notes.append(
+                    f"interrupted with {len(slots)}/{len(specs)} run(s) "
+                    "complete"
+                    + (
+                        "; resume with the same journal to finish"
+                        if self.journal is not None else ""
+                    )
+                )
             # the write-back must happen even if the fan-out machinery
             # itself raises: completed runs already paid for their warm
             # entries, and a later campaign should start from them
-            if self.cache_dir is not None:
+            if self.executor == "thread" and self.cache_dir is not None:
                 self._apply_cache_chaos(specs, notes)
                 for cache in caches:
                     try:
-                        # merge what is already on disk so one policy's
-                        # save does not drop another's entries
-                        load_tile_cache(self.cache_dir, cache)
                         save_tile_cache(cache, self.cache_dir)
                     except Exception as exc:
                         notes.append(
@@ -370,20 +539,11 @@ class CampaignRunner:
                             f"{type(exc).__name__}: {exc}"
                         )
         wall = time.perf_counter() - t0
-        cache_delta = None
-        if caches:
-            deltas = [
-                stats_delta(b, cache.stats())
-                for b, cache in zip(before, caches)
-            ]
-            cache_delta = {
-                k: sum(d[k] for d in deltas)
-                for k in ("hits", "misses", "stores", "rejected", "entries")
-            }
-            looked = cache_delta["hits"] + cache_delta["misses"]
-            cache_delta["hit_rate"] = (
-                cache_delta["hits"] / looked if looked else 0.0
-            )
+        results = [slots[i] for i in sorted(slots)]
+        if self.executor == "thread":
+            cache_delta = self._thread_cache_delta(caches, before)
+        else:
+            cache_delta = self._process_cache_delta(results)
         return CampaignResult(
             results=results,
             wall_seconds=wall,
@@ -391,4 +551,41 @@ class CampaignRunner:
             cache=cache_delta,
             notes=notes,
             aborted=aborted,
+            interrupted=interrupted,
+            executor=self.executor,
         )
+
+    @staticmethod
+    def _thread_cache_delta(caches: list[TileConfigCache],
+                            before: list[dict]) -> dict | None:
+        if not caches:
+            return None
+        deltas = [
+            stats_delta(b, cache.stats())
+            for b, cache in zip(before, caches)
+        ]
+        cache_delta = {
+            k: sum(d[k] for d in deltas)
+            for k in ("hits", "misses", "stores", "rejected", "entries")
+        }
+        looked = cache_delta["hits"] + cache_delta["misses"]
+        cache_delta["hit_rate"] = (
+            cache_delta["hits"] / looked if looked else 0.0
+        )
+        return cache_delta
+
+    @staticmethod
+    def _process_cache_delta(results: list[RunResult]) -> dict | None:
+        """Campaign cache counters = sum of the workers' per-run deltas."""
+        per_run = [r.cache for r in results if r.cache is not None]
+        if not per_run:
+            return None
+        keys = ("hits", "misses", "stores", "rejected", "entries")
+        cache_delta = {
+            k: sum(d.get(k, 0) for d in per_run) for k in keys
+        }
+        looked = cache_delta["hits"] + cache_delta["misses"]
+        cache_delta["hit_rate"] = (
+            cache_delta["hits"] / looked if looked else 0.0
+        )
+        return cache_delta

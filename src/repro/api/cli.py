@@ -12,10 +12,16 @@ Four subcommands, all built on :mod:`repro.api`:
   bit-identical trajectories and reporting the speedup.
 * ``report`` — pretty-print a results file written by ``run`` or
   ``campaign``.
+* ``cache verify`` — damage report for a persisted tile-config store
+  (exit 1 when corrupt or quarantined entries exist).
 
 ``--cache-dir DIR`` persists the tile-configuration cache across
 invocations, so a repeated run starts warm and replays precomputed
 configurations instead of re-running place-and-route.
+
+``campaign --executor process`` runs each spec in a supervised child
+process (hard wall-clock kills, crash isolation); ``--journal FILE``
+plus ``--resume`` restarts an interrupted campaign from where it died.
 """
 
 from __future__ import annotations
@@ -25,7 +31,12 @@ import json
 import sys
 
 from repro._version import __version__
-from repro.api.campaign import CampaignResult, CampaignRunner, expand_matrix
+from repro.api.campaign import (
+    EXECUTORS,
+    CampaignResult,
+    CampaignRunner,
+    expand_matrix,
+)
 from repro.api.pipeline import PipelineHooks, run_spec
 from repro.api.result import RunResult
 from repro.api.spec import (
@@ -254,9 +265,18 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         seeds=_parse_csv(args.seeds, int),
     )
     hooks = _ProgressHooks() if args.verbose else None
+    if hooks is not None and args.executor == "process":
+        # stage hooks cannot observe across a process boundary
+        print("note: --verbose stage hooks are unavailable with "
+              "--executor process", file=sys.stderr)
+        hooks = None
     runner = CampaignRunner(workers=args.workers, hooks=hooks,
                             cache_dir=base.cache_dir,
-                            on_error=args.on_error)
+                            on_error=args.on_error,
+                            executor=args.executor,
+                            hard_timeout_s=args.hard_timeout_s,
+                            journal=args.journal,
+                            resume=args.resume)
     campaign = runner.run(specs)
     info = sys.stderr if args.out == "-" else sys.stdout
     for result in campaign.results:
@@ -286,9 +306,43 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         _emit_json(campaign.to_dict(), args.out)
         if args.out != "-":
             print(f"wrote {args.out}", file=info)
-    if campaign.aborted:
+    if campaign.aborted or campaign.interrupted:
         return 1
     return 0 if campaign.n_runs else 1
+
+
+def cmd_cache_verify(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.tiling.cache import (
+        CACHE_STORE_NAME,
+        verify_cache_file,
+        verify_cache_store,
+    )
+
+    path = args.path
+    if not os.path.exists(path):
+        print(f"{path}: nothing to verify (no such path)")
+        return 0
+    if os.path.isdir(path):
+        # a --cache-dir (holding the store) or the store dir itself
+        if os.path.basename(path.rstrip("/")) == CACHE_STORE_NAME:
+            path = os.path.dirname(path.rstrip("/")) or "."
+        report = verify_cache_store(path)
+        print(
+            f"{args.path}: {report['valid']} valid entr"
+            f"{'y' if report['valid'] == 1 else 'ies'}, "
+            f"{len(report['corrupt'])} corrupt, "
+            f"{len(report['quarantined'])} quarantined, "
+            f"{report['legacy_entries']} legacy"
+        )
+        for kind in ("corrupt", "quarantined"):
+            for entry in report[kind]:
+                print(f"  {kind}: {entry}")
+        return 1 if (report["corrupt"] or report["quarantined"]) else 0
+    n = verify_cache_file(path)
+    print(f"{path}: {n} valid entr{'y' if n == 1 else 'ies'}")
+    return 0 if n else 1
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -400,6 +454,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated error seeds")
     p_camp.add_argument("--seeds", help="comma-separated campaign seeds")
     p_camp.add_argument("--workers", type=int, default=1)
+    p_camp.add_argument("--executor", choices=list(EXECUTORS),
+                        default="thread",
+                        help="run in-process threads (default, "
+                             "bit-identical to prior releases) or "
+                             "supervised child processes (true "
+                             "parallelism, hard kills, crash isolation)")
+    p_camp.add_argument("--hard-timeout", type=float,
+                        dest="hard_timeout_s", metavar="SECONDS",
+                        help="process executor: kill a worker outright "
+                             "after this many seconds (default: derived "
+                             "from --timeout)")
+    p_camp.add_argument("--journal", metavar="FILE",
+                        help="append each completed run to this JSONL "
+                             "journal (enables --resume)")
+    p_camp.add_argument("--resume", action="store_true",
+                        help="skip specs already completed in --journal "
+                             "and execute only the rest")
     p_camp.add_argument("--on-error", dest="on_error",
                         choices=["continue", "abort"], default="continue",
                         help="campaign reaction to a failed run "
@@ -420,6 +491,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep = sub.add_parser("report", help="pretty-print a results JSON")
     p_rep.add_argument("file", help="path written by run/campaign --json")
     p_rep.set_defaults(func=cmd_report)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect a persisted tile-config cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_verify = cache_sub.add_parser(
+        "verify",
+        help="damage report for a --cache-dir, store directory, entry "
+             "file, or legacy cache pickle (exit 1 on damage)",
+    )
+    p_verify.add_argument("path", help="cache directory or file to verify")
+    p_verify.set_defaults(func=cmd_cache_verify)
     return parser
 
 

@@ -1,0 +1,74 @@
+"""`CampaignJournal` — append-only completion log for resumable campaigns.
+
+A campaign that dies at run 800 of 1000 (SIGINT, OOM, power) should
+resume at 801, not 1.  The journal is the minimum machinery that makes
+that true: one JSONL line per *completed* run, keyed by
+:meth:`RunSpec.digest` (which excludes harness-only fields like chaos
+injection, so a resumed invocation without ``--chaos`` still matches),
+appended and fsynced the moment the run finishes.  Append-only means a
+crash can at worst truncate the final line — :meth:`load` tolerates a
+torn tail by skipping lines that do not parse, so the journal is never
+a new single point of failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+_JOURNAL_VERSION = 1
+
+
+class CampaignJournal:
+    """Append-only JSONL record of completed campaign runs."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def append(self, spec, result) -> None:
+        """Durably record one completed run (flushed + fsynced)."""
+        line = json.dumps({
+            "v": _JOURNAL_VERSION,
+            "digest": spec.digest(),
+            "status": result.status,
+            "result": result.to_dict(),
+        }, sort_keys=True)
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        with open(self.path, "a+", encoding="utf-8") as handle:
+            # a crash can tear the previous line mid-write; never glue
+            # the new record onto the torn tail
+            handle.seek(0, os.SEEK_END)
+            if handle.tell():
+                handle.seek(handle.tell() - 1)
+                if handle.read(1) != "\n":
+                    handle.write("\n")
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load(self) -> dict:
+        """``{spec_digest: result_dict}`` of every journaled run.
+
+        Later entries win (a re-executed run supersedes its first
+        attempt); malformed or torn lines are skipped, not fatal.
+        """
+        entries: dict = {}
+        if not os.path.exists(self.path):
+            return entries
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue  # torn tail from a mid-write crash
+                if not isinstance(record, dict):
+                    continue
+                digest = record.get("digest")
+                result = record.get("result")
+                if isinstance(digest, str) and isinstance(result, dict):
+                    entries[digest] = result
+        return entries

@@ -855,9 +855,11 @@ def run_spec(spec, hooks: PipelineHooks | None = None,
     spec, so re-running a chaos campaign reproduces the same failures.
     """
     from repro.api.result import RunResult
-    from repro.resilience.budget import backoff_seconds
+    from repro.resilience.budget import backoff_seconds, clamp_backoff
     from repro.resilience.chaos import (
         CACHE_FILE_KINDS,
+        PIPELINE_KINDS,
+        WORKER_KINDS,
         ChaosConfig,
         ChaosInjector,
         ReplayRejectingCache,
@@ -904,7 +906,11 @@ def run_spec(spec, hooks: PipelineHooks | None = None,
         if owns_cache and tile_cache is not None else None
     )
 
-    pipeline_faults = [f for f in fired if f.kind in ("exception", "hang")]
+    # worker kinds ride along: ChaosInjector only fires them inside a
+    # supervised worker process (inert under the thread executor)
+    pipeline_faults = [
+        f for f in fired if f.kind in PIPELINE_KINDS + WORKER_KINDS
+    ]
     injector = ChaosInjector(pipeline_faults) if pipeline_faults else None
     reject_replay = any(f.kind == "replay_reject" for f in fired)
 
@@ -960,8 +966,12 @@ def run_spec(spec, hooks: PipelineHooks | None = None,
                 degradations.append(dict(note, attempt=attempt))
                 if note["field"] == "cache":
                     run_cache = None
-            delay = backoff_seconds(
-                attempt, seed=current.seed, base=current.retry_backoff_s
+            delay = clamp_backoff(
+                backoff_seconds(
+                    attempt, seed=current.seed,
+                    base=current.retry_backoff_s,
+                ),
+                budget_s=current.timeout_s,
             )
             if delay:
                 time.sleep(delay)

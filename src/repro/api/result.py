@@ -190,6 +190,26 @@ class RunResult:
             wall_seconds=round(wall_seconds, 6),
         )
 
+    @classmethod
+    def worker_failure(cls, spec, failure, status: str = "failed",
+                       wall_seconds: float = 0.0) -> "RunResult":
+        """A spec-complete result for a run whose executor died.
+
+        Used when no :class:`RunContext` exists to package — the worker
+        process crashed, was killed, or never produced a result — so
+        campaign aggregation still sees a structurally complete record.
+        """
+        return cls(
+            spec=spec.to_dict(),
+            status=status,
+            failures=[failure.to_dict()],
+            design=spec.design_label,
+            strategy=spec.strategy,
+            engine=spec.engine,
+            error_kind=spec.error_kind,
+            wall_seconds=round(wall_seconds, 6),
+        )
+
     # -- derived views -------------------------------------------------
 
     @property

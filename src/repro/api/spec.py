@@ -16,6 +16,7 @@ instead of mid-run.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, fields
 
@@ -37,6 +38,15 @@ VERIFY_MODES = ("simulate", "prove", "both")
 CORRECTION_MODES = ("oracle", "cegis")
 
 _DEVICE_NAMES = tuple(spec.name for spec in XC4000_FAMILY)
+
+#: fields excluded from :meth:`RunSpec.digest`.  The digest identifies
+#: the *work*, not the harness around it: ``chaos`` injects failures
+#: without changing what a healthy run computes, and ``cache_dir`` only
+#: moves where warm tile configs live.  Excluding them lets a
+#: ``campaign --resume`` rerun (typically without the chaos flags that
+#: killed the first attempt) match the journal entries of the runs that
+#: already finished.
+RESUME_EXCLUDED_FIELDS = ("chaos", "cache_dir")
 
 
 def resolve_error_kinds(error_kind: str, error_kinds, n_errors: int) -> list:
@@ -329,6 +339,23 @@ class RunSpec:
     @classmethod
     def from_json(cls, text: str) -> "RunSpec":
         return cls.from_dict(json.loads(text))
+
+    def digest(self) -> str:
+        """Stable identity of the work this spec describes.
+
+        SHA-256 over the sorted-key JSON form with
+        :data:`RESUME_EXCLUDED_FIELDS` removed — the campaign journal
+        keys completed runs by this digest so ``--resume`` can skip
+        them even when harness-only fields (chaos injection, cache
+        location) differ between the interrupted and resumed
+        invocations.
+        """
+        data = {
+            k: v for k, v in self.to_dict().items()
+            if k not in RESUME_EXCLUDED_FIELDS
+        }
+        text = json.dumps(data, sort_keys=True)
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
     # -- derived views -------------------------------------------------
 

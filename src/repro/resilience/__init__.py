@@ -2,12 +2,15 @@
 cooperative budgets, a graceful-degradation ladder, and a deterministic
 chaos harness.
 
-This package is the prerequisite for the process-pool / daemon refactor
-(ROADMAP open item 1): before campaigns fan out across processes, a
-single run must die *structurally* — a :class:`RunFailure` on a
-``failed``/``timeout``/``degraded`` result — instead of taking the
-whole campaign with it, and the failure modes themselves must be
-exercisable in CI (:mod:`repro.resilience.chaos`).
+The in-process half — structured :class:`RunFailure` records,
+cooperative deadlines, retries and degradation, deterministic chaos —
+landed first; :mod:`repro.resilience.supervisor` adds the hard half:
+campaign runs executed in spawned child processes whose crashes,
+hangs, and OOM-kills fold back into the same structured failure
+taxonomy (stage ``"worker"``) instead of taking the campaign down.
+Every failure mode stays exercisable in CI
+(:mod:`repro.resilience.chaos`, including ``worker_kill`` /
+``worker_hang``).
 """
 
 from repro.resilience.budget import (
@@ -15,10 +18,12 @@ from repro.resilience.budget import (
     active_deadline,
     backoff_seconds,
     check_deadline,
+    clamp_backoff,
     deadline_scope,
 )
 from repro.resilience.chaos import (
     CHAOS_KINDS,
+    WORKER_KINDS,
     ChaosConfig,
     ChaosFault,
     ChaosInjector,
@@ -26,13 +31,16 @@ from repro.resilience.chaos import (
     chaos_scope,
     chaos_stage_event,
     corrupt_cache_file,
+    in_supervised_worker,
 )
 from repro.resilience.degrade import DEGRADATION_LADDER, next_degraded
 from repro.resilience.failure import (
     RUN_STATUSES,
+    WORKER_STAGE,
     RunFailure,
     traceback_digest,
 )
+from repro.resilience.supervisor import hard_timeout_for, run_supervised
 
 __all__ = [
     "CHAOS_KINDS",
@@ -44,13 +52,19 @@ __all__ = [
     "ReplayRejectingCache",
     "RUN_STATUSES",
     "RunFailure",
+    "WORKER_KINDS",
+    "WORKER_STAGE",
     "active_deadline",
     "backoff_seconds",
     "chaos_scope",
     "chaos_stage_event",
     "check_deadline",
+    "clamp_backoff",
     "corrupt_cache_file",
     "deadline_scope",
+    "hard_timeout_for",
+    "in_supervised_worker",
     "next_degraded",
+    "run_supervised",
     "traceback_digest",
 ]

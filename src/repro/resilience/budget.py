@@ -117,3 +117,25 @@ def backoff_seconds(attempt: int, seed: int = 0, base: float = 0.0,
     raw = min(cap, base * (2 ** max(0, attempt - 1)))
     frac = derive_seed(seed, "resilience.backoff", attempt) % 1000 / 1000.0
     return raw * (0.5 + 0.5 * frac)
+
+
+def clamp_backoff(delay: float, budget_s: float | None = None) -> float:
+    """Clamp a retry sleep so it cannot eat a cooperative deadline.
+
+    An unclamped backoff can sleep straight through the run's
+    ``timeout_s`` (or an enclosing armed :class:`Deadline`), turning a
+    retryable failure into a spurious timeout before the retry even
+    starts.  The clamp keeps the sleep under half of the tightest
+    budget in play — the retry attempt itself must get the larger
+    share — and never stretches a delay, only shortens it.
+    """
+    if delay <= 0:
+        return 0.0
+    limit = float(budget_s) if budget_s else None
+    outer = active_deadline()
+    if outer is not None:
+        remaining = max(0.0, outer.remaining())
+        limit = remaining if limit is None else min(limit, remaining)
+    if limit is None:
+        return delay
+    return max(0.0, min(delay, limit / 2.0))

@@ -16,8 +16,16 @@ every failure mode yields a structured ``failed`` / ``degraded`` /
   apply-time verification had rejected it (forces the fresh-P&R rung
   of the degradation ladder);
 * ``cache_truncate`` / ``cache_corrupt`` — damage the persisted tile
-  cache file on disk (truncation / deterministic byte flip), proving
-  the hostile-file load path cold-starts instead of crashing.
+  cache on disk (truncation / deterministic byte flip of a seed-chosen
+  store entry), proving the hostile-file load path quarantines and
+  cold-starts instead of crashing;
+* ``worker_kill`` / ``worker_hang`` — assassinate a supervised campaign
+  worker *process* mid-stage (``SIGKILL`` self / ``SIGSTOP`` self, so
+  heartbeats stop), proving the supervisor converts worker death into a
+  structured ``RunFailure`` with stage ``"worker"``.  Outside a
+  supervised worker (thread executor) these kinds are inert — an
+  in-process kill would take the whole campaign down, which is exactly
+  the failure mode the process executor exists to contain.
 
 Everything is keyed by seed: fault selection hashes
 ``(config seed, spec seed, error seed, design)`` so a fault fires for
@@ -30,6 +38,7 @@ set ``fires: null`` for a fault that never goes away.
 from __future__ import annotations
 
 import os
+import signal
 import threading
 import time
 from contextlib import contextmanager
@@ -42,11 +51,23 @@ from repro.rng import derive_seed
 #: every injectable fault kind
 CHAOS_KINDS = (
     "exception", "hang", "replay_reject", "cache_truncate", "cache_corrupt",
+    "worker_kill", "worker_hang",
 )
 #: kinds that fire at pipeline stage boundaries
 PIPELINE_KINDS = ("exception", "hang")
 #: kinds that damage the persisted cache file
 CACHE_FILE_KINDS = ("cache_truncate", "cache_corrupt")
+#: kinds that assassinate a supervised worker process mid-stage
+WORKER_KINDS = ("worker_kill", "worker_hang")
+
+#: environment marker the supervisor sets in worker children; worker
+#: kinds only fire when it is present (see :func:`in_supervised_worker`)
+WORKER_ENV = "REPRO_SUPERVISED_WORKER"
+
+
+def in_supervised_worker() -> bool:
+    """True inside a process spawned by the campaign supervisor."""
+    return bool(os.environ.get(WORKER_ENV))
 
 _STAGE_NAMES = ("detect", "localize", "correct", "verify", "diagnose")
 
@@ -216,7 +237,9 @@ class ChaosInjector:
     """
 
     def __init__(self, faults) -> None:
-        self.faults = [f for f in faults if f.kind in PIPELINE_KINDS]
+        self.faults = [
+            f for f in faults if f.kind in PIPELINE_KINDS + WORKER_KINDS
+        ]
         self._remaining = {
             id(f): f.fires for f in self.faults if f.fires is not None
         }
@@ -228,6 +251,11 @@ class ChaosInjector:
         for fault in self.faults:
             if fault.stage != stage:
                 continue
+            if fault.kind in WORKER_KINDS and not in_supervised_worker():
+                # an in-process kill would take the whole campaign down;
+                # worker assassination is only meaningful under the
+                # process executor's supervision
+                continue
             remaining = self._remaining.get(id(fault))
             if remaining is not None:
                 if remaining <= 0:
@@ -238,6 +266,14 @@ class ChaosInjector:
                 raise ChaosError(
                     f"chaos: injected worker exception at stage {stage!r}"
                 )
+            if fault.kind == "worker_kill":
+                # instant, uncatchable death — the OOM-killer's signature
+                os.kill(os.getpid(), signal.SIGKILL)
+            if fault.kind == "worker_hang":
+                # freeze the whole process, heartbeat thread included,
+                # so the supervisor's lost-heartbeat detection must fire
+                os.kill(os.getpid(), signal.SIGSTOP)
+                continue  # resumed (SIGCONT) runs carry on
             self._hang(fault, stage)
 
     @staticmethod
@@ -303,14 +339,27 @@ class ReplayRejectingCache:
 
 
 def corrupt_cache_file(path: str, kind: str, seed: int = 0) -> bool:
-    """Deterministically damage the cache file at ``path``.
+    """Deterministically damage the persisted cache at ``path``.
 
-    ``cache_truncate`` halves the file; ``cache_corrupt`` flips one
-    seed-chosen byte.  Returns False (no-op) when the file is missing
-    or empty — there is nothing to corrupt on a cold start.
+    ``path`` may be a single file (damaged directly) or a
+    content-addressed store directory, in which case one seed-chosen
+    entry file takes the damage — the load path must quarantine it and
+    cold-start that digest only.  ``cache_truncate`` halves the target
+    file; ``cache_corrupt`` flips one seed-chosen byte.  Returns False
+    (no-op) when there is nothing to corrupt — a cold start.
     """
     if kind not in CACHE_FILE_KINDS:
         raise ValueError(f"not a cache fault kind: {kind!r}")
+    if os.path.isdir(path):
+        from repro.tiling.cache import TileConfigStore
+
+        entries = TileConfigStore(path).entry_files()
+        if not entries:
+            return False
+        target = entries[
+            derive_seed(seed, "chaos.cache_target") % len(entries)
+        ]
+        return corrupt_cache_file(target, kind, seed=seed)
     try:
         with open(path, "rb") as fh:
             blob = fh.read()

@@ -21,6 +21,13 @@ from repro.errors import ChaosError, DeadlineExceeded
 #: the four terminal states of a resilient run
 RUN_STATUSES = ("ok", "degraded", "failed", "timeout")
 
+#: stage recorded when the *worker process* itself died (nonzero exit,
+#: signal, OOM-kill, lost heartbeat, hard-timeout kill) rather than a
+#: pipeline stage failing inside it.  Supervision failures carry this
+#: stage so campaign reports can split "the run's logic failed" from
+#: "the machinery running it failed".
+WORKER_STAGE = "worker"
+
 #: characters kept of an exception message (hostile inputs can embed
 #: arbitrarily large reprs in exception args)
 _MESSAGE_LIMIT = 500

@@ -1,0 +1,349 @@
+"""Supervised worker processes — hard isolation for campaign runs.
+
+PR 6's cooperative :class:`~repro.resilience.budget.Deadline`s can only
+stop code that checks them; a worker that segfaults, gets OOM-killed,
+or spins in a C loop is beyond cooperation.  This module supplies the
+hard half of the contract: each campaign run ships as a JSON
+:class:`~repro.api.spec.RunSpec` to a freshly spawned
+``python -m repro.resilience.supervisor`` child, which executes
+:func:`~repro.api.pipeline.run_spec` and streams JSONL events back on
+stdout — ``heartbeat`` lines every :data:`HEARTBEAT_INTERVAL_S` seconds
+while alive, then exactly one ``result`` (or ``error``) event.
+
+The parent-side :func:`run_supervised` enforces three kill conditions
+no cooperative check can: a *hard* wall-clock ceiling (``timeout_s``
+scaled by :data:`HARD_TIMEOUT_FACTOR` plus slack, or an explicit
+``hard_timeout_s``), a lost heartbeat (the child is wedged or
+SIGSTOPped), and an external stop event (campaign SIGINT).  Every way
+a worker can die — nonzero exit, signal, OOM-kill, protocol breakdown
+— folds into a structured :class:`~repro.resilience.failure.RunFailure`
+with stage :data:`~repro.resilience.failure.WORKER_STAGE`, so
+``on_error="continue"`` campaigns sail past dead workers exactly as
+they sail past failed runs.
+
+Retries stay *inside* the child (``run_spec`` owns the retry +
+degradation ladder); the supervisor never re-executes a dead worker —
+that policy belongs to the campaign layer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+
+from repro.api.result import RunResult
+from repro.api.spec import RunSpec
+from repro.resilience.chaos import WORKER_ENV
+from repro.resilience.failure import WORKER_STAGE, RunFailure
+
+#: seconds between child heartbeat events on stdout
+HEARTBEAT_INTERVAL_S = 0.25
+#: default seconds of event silence before the child is declared wedged
+DEFAULT_HEARTBEAT_TIMEOUT_S = 15.0
+#: hard ceiling = cooperative ``timeout_s`` x factor + slack — generous
+#: enough that the child's own graceful timeout path always wins when
+#: it is able to run at all
+HARD_TIMEOUT_FACTOR = 3.0
+HARD_TIMEOUT_SLACK_S = 10.0
+#: stderr lines retained for crash diagnostics
+_STDERR_TAIL_LINES = 20
+#: supervision poll period
+_POLL_S = 0.05
+
+
+def _failure(error: str, message: str, elapsed_s: float) -> RunFailure:
+    return RunFailure(
+        stage=WORKER_STAGE,
+        error=error,
+        message=message,
+        elapsed_s=round(elapsed_s, 6),
+    )
+
+
+def _kill(proc: subprocess.Popen) -> None:
+    """SIGKILL the child and reap it (no mercy, no zombies)."""
+    try:
+        proc.kill()
+    except OSError:
+        pass
+    try:
+        proc.wait(timeout=5.0)
+    except Exception:
+        pass
+
+
+def _worker_env() -> dict:
+    """Child environment: importable ``repro`` + the worker marker."""
+    import repro
+
+    pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__
+    )))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        pkg_root if not existing
+        else pkg_root + os.pathsep + existing
+    )
+    env[WORKER_ENV] = "1"
+    return env
+
+
+class _ChildState:
+    """Mutable supervision state shared with the reader threads."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.last_event = time.monotonic()
+        self.result: dict | None = None
+        self.error: dict | None = None
+        self.stderr_tail: deque = deque(maxlen=_STDERR_TAIL_LINES)
+
+    def touch(self) -> None:
+        with self.lock:
+            self.last_event = time.monotonic()
+
+    def silent_for(self) -> float:
+        with self.lock:
+            return time.monotonic() - self.last_event
+
+
+def _read_events(stream, state: _ChildState) -> None:
+    """Drain child stdout: JSONL events, newest-event clock, payloads."""
+    for line in stream:
+        state.touch()
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(event, dict):
+            continue
+        kind = event.get("event")
+        if kind == "result":
+            with state.lock:
+                state.result = event.get("result")
+        elif kind == "error":
+            with state.lock:
+                state.error = event.get("failure")
+        # heartbeats only feed the liveness clock
+
+
+def _read_stderr(stream, state: _ChildState) -> None:
+    for line in stream:
+        state.stderr_tail.append(line.rstrip("\n"))
+
+
+def hard_timeout_for(spec: RunSpec,
+                     hard_timeout_s: float | None = None) -> float | None:
+    """The wall-clock ceiling after which the child is killed."""
+    if hard_timeout_s is not None:
+        return float(hard_timeout_s)
+    if spec.timeout_s is not None:
+        return spec.timeout_s * HARD_TIMEOUT_FACTOR + HARD_TIMEOUT_SLACK_S
+    return None
+
+
+def run_supervised(
+    spec: RunSpec,
+    hard_timeout_s: float | None = None,
+    heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
+    stop_event: threading.Event | None = None,
+) -> RunResult:
+    """Execute ``spec`` in a spawned, supervised worker process.
+
+    Returns the child's :class:`RunResult` verbatim on success; any
+    form of worker death returns a ``status="failed"`` (hard timeout:
+    ``"timeout"``) result whose single failure record carries stage
+    ``"worker"``.  Raises :class:`KeyboardInterrupt` through after
+    killing the child, so Ctrl-C unwinds the campaign normally.
+    """
+    t0 = time.perf_counter()
+    ceiling = hard_timeout_for(spec, hard_timeout_s)
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro.resilience.supervisor"],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=_worker_env(),
+        text=True,
+    )
+    state = _ChildState()
+    threads = [
+        threading.Thread(target=_read_events, args=(proc.stdout, state),
+                         daemon=True),
+        threading.Thread(target=_read_stderr, args=(proc.stderr, state),
+                         daemon=True),
+    ]
+    for t in threads:
+        t.start()
+
+    verdict: RunFailure | None = None
+    status = "failed"
+    try:
+        try:
+            proc.stdin.write(json.dumps({"spec": spec.to_dict()}))
+            proc.stdin.close()
+        except (BrokenPipeError, OSError):
+            pass  # child died before reading; exit code tells the story
+
+        while True:
+            if proc.poll() is not None:
+                break
+            if stop_event is not None and stop_event.is_set():
+                _kill(proc)
+                verdict = _failure(
+                    "WorkerInterrupted",
+                    "campaign stop requested; worker killed",
+                    time.perf_counter() - t0,
+                )
+                break
+            elapsed = time.perf_counter() - t0
+            if ceiling is not None and elapsed > ceiling:
+                _kill(proc)
+                status = "timeout"
+                verdict = _failure(
+                    "WorkerHardTimeout",
+                    f"worker exceeded hard wall-clock limit "
+                    f"{ceiling:.1f}s; killed",
+                    elapsed,
+                )
+                break
+            if state.silent_for() > heartbeat_timeout_s:
+                _kill(proc)
+                verdict = _failure(
+                    "WorkerHeartbeatLost",
+                    f"no worker event for {heartbeat_timeout_s:.1f}s "
+                    "(hung or stopped); killed",
+                    elapsed,
+                )
+                break
+            time.sleep(_POLL_S)
+    except KeyboardInterrupt:
+        _kill(proc)
+        raise
+    finally:
+        for t in threads:
+            t.join(timeout=2.0)
+
+    elapsed = time.perf_counter() - t0
+    if verdict is not None:
+        return RunResult.worker_failure(
+            spec, verdict, status=status, wall_seconds=elapsed
+        )
+
+    rc = proc.returncode
+    with state.lock:
+        result_dict = state.result
+        error_dict = state.error
+    if result_dict is not None:
+        try:
+            return RunResult.from_dict(result_dict)
+        except (TypeError, ValueError) as exc:
+            verdict = _failure(
+                "WorkerProtocolError",
+                f"worker result did not deserialize: {exc}",
+                elapsed,
+            )
+    elif error_dict is not None:
+        try:
+            failure = RunFailure.from_dict(error_dict)
+        except (TypeError, ValueError):
+            failure = _failure(
+                "WorkerProtocolError",
+                "worker error event did not deserialize",
+                elapsed,
+            )
+        if not failure.stage:
+            failure.stage = WORKER_STAGE
+        verdict = failure
+    elif rc != 0:
+        if rc is not None and rc < 0:
+            try:
+                signame = signal.Signals(-rc).name
+            except ValueError:
+                signame = f"signal {-rc}"
+            detail = f"worker killed by {signame}"
+            if -rc == signal.SIGKILL:
+                detail += " (chaos worker_kill, OOM-kill, or supervisor)"
+        else:
+            detail = f"worker exited with code {rc}"
+        tail = "\n".join(state.stderr_tail).strip()
+        if tail:
+            detail += f"; stderr tail: {tail[-500:]}"
+        verdict = _failure("WorkerCrashed", detail, elapsed)
+    else:
+        verdict = _failure(
+            "WorkerProtocolError",
+            "worker exited cleanly without emitting a result event",
+            elapsed,
+        )
+    return RunResult.worker_failure(
+        spec, verdict, status=status, wall_seconds=elapsed
+    )
+
+
+# -- child side --------------------------------------------------------
+
+
+def _emit(payload: dict, lock: threading.Lock) -> None:
+    with lock:
+        sys.stdout.write(json.dumps(payload) + "\n")
+        sys.stdout.flush()
+
+
+def _heartbeat_loop(lock: threading.Lock, stop: threading.Event) -> None:
+    while not stop.wait(HEARTBEAT_INTERVAL_S):
+        try:
+            _emit({"event": "heartbeat"}, lock)
+        except (BrokenPipeError, OSError):
+            return  # supervisor is gone; the kill follows shortly
+
+
+def worker_main() -> int:
+    """Child entry point: one spec in on stdin, one result out on stdout."""
+    from repro.api.pipeline import run_spec
+
+    lock = threading.Lock()
+    stop = threading.Event()
+    try:
+        request = json.loads(sys.stdin.read())
+        spec = RunSpec.from_dict(request["spec"])
+    except BaseException as exc:  # noqa: BLE001 — report, don't crash
+        _emit({
+            "event": "error",
+            "failure": RunFailure.from_exception(
+                exc, stage=WORKER_STAGE
+            ).to_dict(),
+        }, lock)
+        return 1
+    beat = threading.Thread(
+        target=_heartbeat_loop, args=(lock, stop), daemon=True
+    )
+    beat.start()
+    try:
+        result = run_spec(spec)
+    except BaseException as exc:  # noqa: BLE001
+        stop.set()
+        _emit({
+            "event": "error",
+            "failure": RunFailure.from_exception(
+                exc, stage=WORKER_STAGE
+            ).to_dict(),
+        }, lock)
+        return 1
+    stop.set()
+    _emit({"event": "result", "result": result.to_dict()}, lock)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(worker_main())

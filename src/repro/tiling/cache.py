@@ -39,18 +39,33 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import re
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+try:  # advisory locking is POSIX-only; the store degrades gracefully
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 #: Bumped whenever the on-disk payload layout changes; files written by
 #: another version are silently ignored on load.
 CACHE_FORMAT_VERSION = 1
 
 _CACHE_FORMAT_NAME = "repro-tile-config-cache"
+_ENTRY_FORMAT_NAME = "repro-tile-config-entry"
 
-#: File name used inside a ``--cache-dir`` directory.
+#: Legacy whole-cache pickle name inside a ``--cache-dir`` directory
+#: (still read for migration; new write-backs go to the entry store).
 CACHE_FILE_NAME = "tile_configs.pkl"
+
+#: Directory name of the content-addressed entry store inside a
+#: ``--cache-dir`` directory.
+CACHE_STORE_NAME = "tile_configs"
+
+_HEX_KEY = re.compile(r"^[0-9a-f]{64}$")
 
 
 @dataclass
@@ -106,6 +121,18 @@ class TileConfigCache:
             self._entries[key] = config
             self._entries.move_to_end(key)
             self.stores += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def store_quietly(self, key: str, config: TileConfig) -> None:
+        """Merge one entry without touching the ``stores`` counter.
+
+        The load/merge paths use this so warming from disk never skews
+        the per-run accounting the campaign deltas are computed from.
+        """
+        with self._lock:
+            self._entries[key] = config
+            self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
 
@@ -233,34 +260,328 @@ def stats_delta(before: dict, after: dict) -> dict:
     return delta
 
 
+# ----------------------------------------------------------------------
+# content-addressed on-disk store (crash- and multiprocess-safe)
+# ----------------------------------------------------------------------
+
+@contextmanager
+def _file_lock(path: str):
+    """``fcntl`` advisory lock held for the enclosed block.
+
+    Per-entry writes are already atomic (temp + ``os.replace``); the
+    lock only serializes the *compound* operations — directory scans
+    interleaved with quarantine moves — across worker processes.  On
+    platforms without ``fcntl`` the lock degrades to a no-op, which
+    costs nothing but a chance of double-quarantining a damaged entry.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX platforms
+        yield
+        return
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "a+b") as fh:
+        fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+
+
+class TileConfigStore:
+    """Content-addressed per-digest store of :class:`TileConfig` entries.
+
+    The crash-safe replacement for the historical whole-cache pickle:
+    every entry lives in its own file named by the SHA-256 of its cache
+    key (``<root>/<aa>/<digest>.pkl``), written atomically via a
+    temp-file + ``os.replace``.  That makes cross-process sharing a
+    non-event — two workers storing the same digest write byte-identical
+    files, a worker killed mid-write leaves only a temp file behind
+    (swept opportunistically), and merge-on-writeback is simply "write
+    the digests the disk does not have yet".  Entries that fail
+    verification on read (bad wrapper, payload digest mismatch, version
+    skew) are *quarantined* — moved aside into ``<root>.quarantine/`` so
+    they are inspected, never re-read, and never crash a load.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.quarantine_dir = root + ".quarantine"
+        self._lock_path = os.path.join(root, ".lock")
+
+    # -- naming --------------------------------------------------------
+
+    @staticmethod
+    def address(key: str) -> str:
+        """The content address (file stem) of a cache key."""
+        if _HEX_KEY.match(key):
+            return key
+        return hashlib.sha256(key.encode("utf-8")).hexdigest()
+
+    def entry_path(self, key: str) -> str:
+        digest = self.address(key)
+        return os.path.join(self.root, digest[:2], digest + ".pkl")
+
+    def entry_files(self) -> list[str]:
+        """Every entry file currently in the store, sorted."""
+        files = []
+        if not os.path.isdir(self.root):
+            return files
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if len(shard) != 2 or not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".pkl"):
+                    files.append(os.path.join(shard_dir, name))
+        return files
+
+    def __len__(self) -> int:
+        return len(self.entry_files())
+
+    # -- single-entry I/O ----------------------------------------------
+
+    def write_entry(self, key: str, config: TileConfig) -> bool:
+        """Atomically persist one entry; False if already present.
+
+        Same-digest files are byte-equivalent by construction, so an
+        existing file never needs rewriting — which is exactly what
+        makes concurrent write-backs from many workers safe.
+        """
+        path = self.entry_path(key)
+        if os.path.exists(path):
+            return False
+        payload = pickle.dumps(config, protocol=pickle.HIGHEST_PROTOCOL)
+        wrapper = {
+            "format": _ENTRY_FORMAT_NAME,
+            "version": CACHE_FORMAT_VERSION,
+            "key": key,
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "payload": payload,
+        }
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        # pid + thread id: concurrent writers never share a temp file
+        tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(wrapper, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):  # a failed replace must not litter
+                try:
+                    os.remove(tmp)
+                except OSError:  # pragma: no cover - racing sweeper
+                    pass
+        return True
+
+    @staticmethod
+    def read_entry(path: str):
+        """``(key, TileConfig)`` from one entry file, or ``None``.
+
+        Verification mirrors :meth:`TileConfigCache.load`: format name,
+        format version, and the payload digest must all check out, and
+        the unpickled objects must have the expected types.  Any damage
+        yields ``None`` — the caller decides whether to quarantine.
+        """
+        try:
+            with open(path, "rb") as fh:
+                wrapper = pickle.load(fh)
+            if not isinstance(wrapper, dict):
+                return None
+            if wrapper.get("format") != _ENTRY_FORMAT_NAME:
+                return None
+            if wrapper.get("version") != CACHE_FORMAT_VERSION:
+                return None
+            key = wrapper.get("key")
+            payload = wrapper.get("payload")
+            if not isinstance(key, str) or not isinstance(payload, bytes):
+                return None
+            if hashlib.sha256(payload).hexdigest() != wrapper.get("sha256"):
+                return None
+            config = pickle.loads(payload)
+            if not isinstance(config, TileConfig):
+                return None
+            return key, config
+        except Exception:
+            # corrupt pickle streams can raise nearly anything; the
+            # contract is "damage is data, never an exception"
+            return None
+
+    def quarantine(self, path: str, reason: str = "corrupt") -> str | None:
+        """Move a damaged entry aside; returns its new path (or None)."""
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        dest = os.path.join(
+            self.quarantine_dir, f"{os.path.basename(path)}.{reason}"
+        )
+        try:
+            os.replace(path, dest)
+        except OSError:
+            # a concurrent loader already moved it; nothing left to do
+            return None
+        return dest
+
+    def quarantined_files(self) -> list[str]:
+        if not os.path.isdir(self.quarantine_dir):
+            return []
+        return sorted(
+            os.path.join(self.quarantine_dir, name)
+            for name in os.listdir(self.quarantine_dir)
+        )
+
+    def _sweep_temp_files(self) -> None:
+        """Remove temp droppings a killed writer left behind."""
+        if not os.path.isdir(self.root):
+            return
+        for shard in os.listdir(self.root):
+            shard_dir = os.path.join(self.root, shard)
+            if len(shard) != 2 or not os.path.isdir(shard_dir):
+                continue
+            for name in os.listdir(shard_dir):
+                if ".pkl.tmp." in name:
+                    try:
+                        os.remove(os.path.join(shard_dir, name))
+                    except OSError:  # pragma: no cover - racing sweeper
+                        pass
+
+    # -- bulk operations -----------------------------------------------
+
+    def merge_into(self, cache: TileConfigCache) -> int:
+        """Load every valid entry into ``cache``; quarantine the rest.
+
+        Returns the number of entries merged.  Damaged entries are
+        moved to the quarantine directory (under the store lock, so two
+        concurrent loaders do not race the move) and the load carries
+        on — a partially damaged store degrades to a partial warm
+        start, never a crash.
+        """
+        if not os.path.isdir(self.root):
+            return 0
+        merged = 0
+        with _file_lock(self._lock_path):
+            self._sweep_temp_files()
+            for path in self.entry_files():
+                entry = self.read_entry(path)
+                if entry is None:
+                    self.quarantine(path)
+                    continue
+                key, config = entry
+                cache.store_quietly(key, config)
+                merged += 1
+        return merged
+
+    def write_back(self, cache: TileConfigCache) -> int:
+        """Persist ``cache``'s entries the store does not have yet.
+
+        The merge-on-writeback discipline: digests already on disk are
+        skipped (same digest = same bytes), new digests land atomically,
+        and nothing is ever rewritten — so any number of workers can
+        write back concurrently without losing each other's entries.
+        Returns the number of entries *newly* written.
+        """
+        os.makedirs(self.root, exist_ok=True)
+        with cache._lock:
+            entries = list(cache._entries.items())
+        written = 0
+        for key, config in entries:
+            if self.write_entry(key, config):
+                written += 1
+        return written
+
+    def verify(self) -> dict:
+        """Read-only damage report over the store.
+
+        ``{"valid": n, "corrupt": [paths], "quarantined": [paths]}`` —
+        ``corrupt`` lists entry files that currently fail verification
+        (they will be quarantined by the next load), ``quarantined``
+        lists entries a previous load already moved aside.
+        """
+        valid = 0
+        corrupt: list[str] = []
+        for path in self.entry_files():
+            if self.read_entry(path) is None:
+                corrupt.append(path)
+            else:
+                valid += 1
+        return {
+            "valid": valid,
+            "corrupt": corrupt,
+            "quarantined": self.quarantined_files(),
+        }
+
+
 def cache_file_path(cache_dir: str) -> str:
-    """The persistence file used inside a ``--cache-dir`` directory."""
+    """The persistence target inside a ``--cache-dir`` directory.
+
+    Since the content-addressed store replaced the whole-cache pickle
+    this is the store *directory*; :func:`verify_cache_file` and the
+    chaos harness accept it directly.
+    """
+    return os.path.join(cache_dir, CACHE_STORE_NAME)
+
+
+def legacy_cache_file_path(cache_dir: str) -> str:
+    """The pre-store whole-cache pickle (read for migration only)."""
     return os.path.join(cache_dir, CACHE_FILE_NAME)
 
 
 def load_tile_cache(cache_dir: str, cache: TileConfigCache | None = None
                     ) -> TileConfigCache:
-    """Warm ``cache`` (default: a fresh one) from ``cache_dir``."""
+    """Warm ``cache`` (default: a fresh one) from ``cache_dir``.
+
+    Merges the content-addressed entry store, then any legacy
+    whole-cache pickle left by an older version (its entries migrate
+    into the store on the next write-back).
+    """
     cache = cache if cache is not None else TileConfigCache()
-    cache.load(cache_file_path(cache_dir))
+    TileConfigStore(cache_file_path(cache_dir)).merge_into(cache)
+    legacy = legacy_cache_file_path(cache_dir)
+    if os.path.exists(legacy):
+        cache.load(legacy)
     return cache
 
 
 def save_tile_cache(cache: TileConfigCache, cache_dir: str) -> int:
-    """Persist ``cache`` under ``cache_dir`` (created if missing)."""
+    """Write back ``cache`` under ``cache_dir`` (created if missing).
+
+    Only digests missing from the store are written (each atomically),
+    so concurrent campaign workers — threads or processes — can all
+    write back without clobbering one another, and a crash mid-
+    write-back loses at most the single entry being written.
+    """
     os.makedirs(cache_dir, exist_ok=True)
-    return cache.save(cache_file_path(cache_dir))
+    return TileConfigStore(cache_file_path(cache_dir)).write_back(cache)
 
 
 def verify_cache_file(path: str) -> int:
     """How many entries ``path`` yields to a fresh load (0 = unusable).
 
-    Loads into a throwaway cache with the same hostile-file tolerance as
-    :meth:`TileConfigCache.load`, so callers (CI smoke checks, chaos
-    tests) can assert a write-back survived without touching any shared
-    cache state.
+    ``path`` may be a store directory (per-digest layout), a single
+    entry file, or a legacy whole-cache pickle; damage is tolerated
+    with the same hostile-file discipline as the load paths, so callers
+    (CI smoke checks, chaos tests) can assert a write-back survived
+    without touching any shared cache state.
     """
+    if os.path.isdir(path):
+        return TileConfigStore(path).verify()["valid"]
+    if TileConfigStore.read_entry(path) is not None:
+        return 1
     return TileConfigCache().load(path)
+
+
+def verify_cache_store(cache_dir: str) -> dict:
+    """Full damage report for a ``--cache-dir`` directory.
+
+    ``{"valid", "corrupt", "quarantined", "legacy_entries"}`` — the
+    store's :meth:`TileConfigStore.verify` report plus the entry count
+    of any legacy whole-cache pickle still present.  Read-only: nothing
+    is moved or deleted (the next load quarantines ``corrupt`` files).
+    """
+    report = TileConfigStore(cache_file_path(cache_dir)).verify()
+    legacy = legacy_cache_file_path(cache_dir)
+    report["legacy_entries"] = (
+        TileConfigCache().load(legacy) if os.path.exists(legacy) else 0
+    )
+    return report
 
 
 # ----------------------------------------------------------------------

@@ -372,3 +372,135 @@ def test_concurrent_save_load_store_stress(tmp_path):
     assert fresh.load(path) == 4 * 25
     # atomic save leaves no temp droppings behind
     assert [f for f in os.listdir(tmp_path) if ".tmp" in f] == []
+
+
+# ----------------------------------------------------------------------
+# content-addressed on-disk store
+# ----------------------------------------------------------------------
+
+def test_store_address_and_roundtrip(tmp_path):
+    from repro.tiling.cache import TileConfigStore
+
+    store = TileConfigStore(str(tmp_path / "store"))
+    hexkey = "ab" * 32
+    assert store.address(hexkey) == hexkey  # digest keys address as-is
+    assert store.address("plain-key") != "plain-key"
+    assert len(store.address("plain-key")) == 64
+
+    config = TileConfig({"b": (1, 2)}, {}, {})
+    assert store.write_entry("plain-key", config) is True
+    # second write of the same digest is a no-op, not a rewrite
+    assert store.write_entry("plain-key", config) is False
+    assert len(store) == 1
+    key, loaded = store.read_entry(store.entry_path("plain-key"))
+    assert key == "plain-key"
+    assert loaded.sites == config.sites
+
+
+def test_store_merge_quarantines_damage(tmp_path):
+    from repro.tiling.cache import TileConfigStore
+
+    store = TileConfigStore(str(tmp_path / "store"))
+    store.write_entry("good", TileConfig({}, {}, {}))
+    store.write_entry("bad", TileConfig({}, {}, {}))
+    with open(store.entry_path("bad"), "wb") as fh:
+        fh.write(b"garbage")
+    cache = TileConfigCache()
+    assert store.merge_into(cache) == 1
+    assert cache.lookup("good") is not None
+    # loads must not skew campaign stats: merge bumps no counters
+    assert cache.stores == 0
+    # the damaged entry moved aside and stays out of future loads
+    assert len(store.quarantined_files()) == 1
+    assert len(store) == 1
+    assert store.merge_into(TileConfigCache()) == 1
+
+
+def test_store_write_back_merges_across_workers(tmp_path):
+    from repro.tiling.cache import TileConfigStore
+
+    root = str(tmp_path / "store")
+    a = TileConfigCache()
+    a.store("k1", TileConfig({}, {}, {}))
+    a.store("k2", TileConfig({}, {}, {}))
+    b = TileConfigCache()
+    b.store("k2", TileConfig({}, {}, {}))
+    b.store("k3", TileConfig({}, {}, {}))
+    assert TileConfigStore(root).write_back(a) == 2
+    # the overlapping digest is already present: only k3 is new
+    assert TileConfigStore(root).write_back(b) == 1
+    merged = TileConfigCache()
+    assert TileConfigStore(root).merge_into(merged) == 3
+
+
+def test_store_crash_leftovers_are_swept(tmp_path):
+    import os
+
+    from repro.tiling.cache import TileConfigStore
+
+    store = TileConfigStore(str(tmp_path / "store"))
+    store.write_entry("k", TileConfig({}, {}, {}))
+    shard = os.path.dirname(store.entry_path("k"))
+    # a worker killed mid-write leaves a temp file, never an entry
+    with open(os.path.join(shard, "dead.pkl.tmp.999.1"), "wb") as fh:
+        fh.write(b"partial")
+    cache = TileConfigCache()
+    assert store.merge_into(cache) == 1
+    assert not any(".tmp." in n for n in os.listdir(shard))
+
+
+def test_verify_cache_file_accepts_store_dir_and_entry(tmp_path):
+    from repro.tiling.cache import TileConfigStore, verify_cache_file
+
+    store = TileConfigStore(str(tmp_path / "store"))
+    store.write_entry("k1", TileConfig({}, {}, {}))
+    store.write_entry("k2", TileConfig({}, {}, {}))
+    assert verify_cache_file(store.root) == 2
+    assert verify_cache_file(store.entry_path("k1")) == 1
+    with open(store.entry_path("k2"), "wb") as fh:
+        fh.write(b"garbage")
+    assert verify_cache_file(store.root) == 1
+
+
+def test_verify_cache_store_reports_damage_read_only(tmp_path):
+    from repro.tiling.cache import (
+        TileConfigStore,
+        cache_file_path,
+        verify_cache_store,
+    )
+
+    cache_dir = str(tmp_path)
+    store = TileConfigStore(cache_file_path(cache_dir))
+    store.write_entry("ok", TileConfig({}, {}, {}))
+    store.write_entry("broken", TileConfig({}, {}, {}))
+    with open(store.entry_path("broken"), "wb") as fh:
+        fh.write(b"garbage")
+    report = verify_cache_store(cache_dir)
+    assert report["valid"] == 1
+    assert report["corrupt"] == [store.entry_path("broken")]
+    assert report["quarantined"] == []
+    assert report["legacy_entries"] == 0
+    # read-only: the damaged file is still in place afterwards
+    assert len(store) == 2
+
+
+def test_load_tile_cache_migrates_legacy_pickle(tmp_path):
+    from repro.tiling.cache import (
+        TileConfigStore,
+        cache_file_path,
+        legacy_cache_file_path,
+        load_tile_cache,
+        save_tile_cache,
+    )
+
+    cache_dir = str(tmp_path)
+    old = TileConfigCache()
+    old.store("legacy-key", TileConfig({}, {}, {}))
+    old.save(legacy_cache_file_path(cache_dir))
+    cache = load_tile_cache(cache_dir)
+    assert cache.lookup("legacy-key") is not None
+    save_tile_cache(cache, cache_dir)
+    # the migrated entry now lives in the content-addressed store
+    fresh = TileConfigCache()
+    assert TileConfigStore(cache_file_path(cache_dir)).merge_into(fresh) == 1
+    assert fresh.lookup("legacy-key") is not None
