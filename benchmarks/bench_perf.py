@@ -24,7 +24,11 @@ Measures, per design:
   diagnose→fix→re-detect round loop with ``verify="prove"``: rounds
   taken, probes and retired observation points per round, SAT
   eliminations per round (``"sat"`` strategy), and the final
-  fixed/proved verdicts.
+  fixed/proved verdicts;
+* **service warm-start** — the same spec submitted twice to a private
+  debug-service daemon (:mod:`repro.service`): cold submission pays
+  every per-process cost, warm must hit the worker's warm registry,
+  answer bit-identically, and land ``service_warm_speedup`` >= 2x.
 
 Results land in ``BENCH_perf.json``; every run also *appends* a
 timestamped summary to the file's ``history`` list, so the perf
@@ -41,7 +45,10 @@ Acceptance gates (checked at the end, non-zero exit on failure):
 
 * >=5x localization-compute speedup on the largest benchmarked design;
 * >=2x commit-phase speedup (cold/warm) on the largest design;
-* >2.5x end-to-end campaign speedup on ``des`` whenever it is benched.
+* >2.5x end-to-end campaign speedup on ``des`` whenever it is benched;
+* >=2x warm-vs-cold submission latency through the debug service
+  (``service_warm``) on the largest design, with the second submission
+  hitting the worker's warm registry and the results bit-identical.
 """
 
 from __future__ import annotations
@@ -74,6 +81,7 @@ ENGINES = ("interpreted", "compiled")
 SPEEDUP_TARGET = 5.0
 COMMIT_SPEEDUP_TARGET = 2.0
 CAMPAIGN_SPEEDUP_TARGET = 2.5
+SERVICE_WARM_TARGET = 2.0
 
 
 def bench_sim_throughput(
@@ -265,6 +273,92 @@ def bench_multi_error(design: str, error_seed: int,
     }
 
 
+#: RunResult fields that legitimately differ between two executions of
+#: the same spec (clocks, attempt metadata, cache counters)
+_VOLATILE_RESULT_FIELDS = {
+    "wall_seconds", "timings", "effort", "cache", "attempts",
+    "n_commit_cache_hits",
+}
+
+
+def bench_service_warm(design: str, error_seed: int,
+                       max_probes: int = 12) -> dict:
+    """Warm-vs-cold submission latency through the service daemon.
+
+    Starts a private daemon (one worker, fresh cache dir), submits the
+    same spec twice — the first pays every cold-start cost (bundle
+    build, kernel lowering, fabric tables, cone bitsets, fresh P&R),
+    the second must hit the worker's warm registry and replay tile
+    configs — and reports client-observed latency for each.  Both
+    results must be bit-identical modulo timing/attempt metadata:
+    warm state is a cache, never a semantic input.
+    """
+    import shutil
+    import tempfile
+
+    from repro.service.client import Client
+    from repro.service.daemon import ReproService, ServiceConfig
+
+    spec = RunSpec(
+        design=design, strategy="tiled", seed=1, preset="fast",
+        engine="compiled", error_kind="table_bit", error_seed=error_seed,
+        max_probes=max_probes,
+    )
+    tmp = tempfile.mkdtemp(prefix="repro-bench-service-")
+    config = ServiceConfig(
+        socket_path=os.path.join(tmp, "service.sock"),
+        cache_dir=os.path.join(tmp, "cache"),
+        workers=1,
+    )
+    service = ReproService(config)
+    service.start()
+    try:
+        client = Client(config.socket_path)
+        # boot (python import + registry construction) is not part of
+        # the cold-submission story; wait for the worker to report in
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            workers = client.stats().get("workers", [])
+            if workers and all(w.get("ready") for w in workers):
+                break
+            time.sleep(0.05)
+
+        t0 = time.perf_counter()
+        cold_resp = client.run(spec, timeout_s=600.0)
+        cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm_resp = client.run(spec, fresh=True, timeout_s=600.0)
+        warm = time.perf_counter() - t0
+    finally:
+        service.stop()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    assert not cold_resp["warm"]["hit"], (
+        f"{design}: first service submission reported a warm hit"
+    )
+    assert warm_resp["warm"]["hit"], (
+        f"{design}: second service submission missed the warm registry"
+    )
+    cold_result = cold_resp["result"]
+    warm_result = warm_resp["result"]
+    diverged = sorted(
+        k for k in cold_result
+        if k not in _VOLATILE_RESULT_FIELDS
+        and cold_result[k] != warm_result.get(k)
+    )
+    assert not diverged, (
+        f"{design}: warm service result diverges from cold on {diverged}"
+    )
+    return {
+        "cold_seconds": round(cold, 6),
+        "warm_seconds": round(warm, 6),
+        "service_warm_speedup": cold / warm if warm > 0 else float("inf"),
+        "warm_hit": True,
+        "identical_results": True,
+        "status": warm_result.get("status"),
+    }
+
+
 def append_history(out_path: str, results: dict) -> list:
     """Load any existing run history and append this run's summary."""
     history = []
@@ -289,7 +383,13 @@ def append_history(out_path: str, results: dict) -> list:
         loc = data["localization"]
         fv = loc["formal_verify"]
         me = data["multi_error"]
+        sw = data["service_warm"]
         summary["designs"][name] = {
+            "service_warm": {
+                "cold_seconds": sw["cold_seconds"],
+                "warm_seconds": sw["warm_seconds"],
+                "speedup": round(sw["service_warm_speedup"], 3),
+            },
             "sim_speedup": round(data["sim_throughput"]["speedup"], 3),
             "localization_speedup": round(loc["speedup"], 3),
             "campaign_speedup": round(loc["campaign_speedup"], 3),
@@ -421,10 +521,21 @@ def main(argv=None) -> int:
                 me["n_sat_eliminated"], me["wall_seconds"],
             )
         )
+        sw = bench_service_warm(
+            design, ERROR_SEEDS.get(design, 1), max_probes=max_probes
+        )
+        print(
+            "  service: cold {:.3f}s -> warm {:.3f}s ({:.1f}x, warm hit, "
+            "bit-identical)".format(
+                sw["cold_seconds"], sw["warm_seconds"],
+                sw["service_warm_speedup"],
+            )
+        )
         results["designs"][design] = {
             "sim_throughput": sim,
             "localization": loc,
             "multi_error": me,
+            "service_warm": sw,
         }
 
     # gates run on the largest design (by instance count, not order)
@@ -441,8 +552,16 @@ def main(argv=None) -> int:
     results["speedup_target"] = SPEEDUP_TARGET
     results["commit_speedup_target"] = COMMIT_SPEEDUP_TARGET
     results["campaign_speedup_target"] = CAMPAIGN_SPEEDUP_TARGET
+    results["service_warm_target"] = SERVICE_WARM_TARGET
+    results["largest_service_warm_speedup"] = results["designs"][
+        largest
+    ]["service_warm"]["service_warm_speedup"]
 
     gates = {
+        "service_warm_speedup": (
+            results["largest_service_warm_speedup"]
+            >= SERVICE_WARM_TARGET
+        ),
         "localization_speedup": (
             largest_loc["speedup"] >= SPEEDUP_TARGET
         ),

@@ -152,6 +152,24 @@ class CampaignResult:
                 })
         return out
 
+    def summary_line(self) -> str:
+        """The one-line aggregate summary, shared verbatim by the
+        ``campaign`` and ``report`` CLI outputs so executor and worker
+        count always print consistently."""
+        line = (
+            f"{self.n_runs} runs, {self.n_detected} detected, "
+            f"{self.n_localized} localized, {self.n_fixed} fixed"
+        )
+        if self.n_failed or self.n_degraded:
+            line += (
+                f", {self.n_failed} failed, {self.n_degraded} degraded"
+            )
+        line += (
+            f" ({self.wall_seconds:.1f}s, {self.executor} executor, "
+            f"{self.workers} worker{'s' if self.workers != 1 else ''})"
+        )
+        return line
+
     def to_dict(self) -> dict:
         return {
             "n_runs": self.n_runs,

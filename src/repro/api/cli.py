@@ -11,9 +11,14 @@ Four subcommands, all built on :mod:`repro.api`:
 * ``bench`` — the same campaign under both engines, asserting
   bit-identical trajectories and reporting the speedup.
 * ``report`` — pretty-print a results file written by ``run`` or
-  ``campaign``.
+  ``campaign``, a ``.jsonl`` journal, or a whole directory of either.
 * ``cache verify`` — damage report for a persisted tile-config store
   (exit 1 when corrupt or quarantined entries exist).
+* ``serve`` / ``client`` — the warm-start debug service: a daemon
+  owning resident worker processes (:mod:`repro.service`) and the
+  client verbs (``submit``, ``submit-batch``, ``status``, ``result``,
+  ``events``, ``stats``, ``shutdown``) that talk to it over its unix
+  socket.
 
 ``--cache-dir DIR`` persists the tile-configuration cache across
 invocations, so a repeated run starts warm and replays precomputed
@@ -281,19 +286,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     info = sys.stderr if args.out == "-" else sys.stdout
     for result in campaign.results:
         print(_summary_line(result), file=info)
-    summary = (
-        f"{campaign.n_runs} runs, {campaign.n_detected} detected, "
-        f"{campaign.n_localized} localized, {campaign.n_fixed} fixed"
-    )
-    if campaign.n_failed or campaign.n_degraded:
-        summary += (
-            f", {campaign.n_failed} failed, "
-            f"{campaign.n_degraded} degraded"
-        )
-    summary += (
-        f" ({campaign.wall_seconds:.1f}s, {campaign.workers} workers)"
-    )
-    print(summary, file=info)
+    print(campaign.summary_line(), file=info)
     for note in campaign.notes:
         print(f"  note: {note}", file=info)
     if campaign.cache is not None:
@@ -383,14 +376,59 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
-def cmd_report(args: argparse.Namespace) -> int:
-    with open(args.file) as fh:
+def _load_report_file(path: str) -> tuple[list, "CampaignResult | None"]:
+    """Results (and the campaign, if it is one) from one saved file.
+
+    Three shapes are understood: a ``RunResult`` JSON, a
+    ``CampaignResult`` JSON, and an append-only ``.jsonl`` journal as
+    written by ``campaign --journal`` or the service spool (later
+    entries win, torn tails skipped).
+    """
+    if path.endswith(".jsonl"):
+        from repro.api.journal import CampaignJournal
+
+        entries = CampaignJournal(path).load()
+        return [RunResult.from_dict(d) for d in entries.values()], None
+    with open(path) as fh:
         data = json.load(fh)
     if "results" in data:
         campaign = CampaignResult.from_dict(data)
-        results = campaign.results
-    else:
-        results = [RunResult.from_dict(data)]
+        return campaign.results, campaign
+    return [RunResult.from_dict(data)], None
+
+
+def _report_sources(target: str) -> list[str]:
+    """The files one ``report`` invocation covers (a file, or a
+    directory of ``.json``/``.jsonl`` result files)."""
+    import os
+
+    if not os.path.isdir(target):
+        return [target]
+    files = sorted(
+        os.path.join(target, name)
+        for name in os.listdir(target)
+        if name.endswith((".json", ".jsonl"))
+    )
+    if not files:
+        raise ValueError(
+            f"{target}: no .json or .jsonl result files to report"
+        )
+    return files
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    results: list = []
+    campaigns: list = []
+    sources = _report_sources(args.file)
+    for path in sources:
+        try:
+            file_results, campaign = _load_report_file(path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"  skipping {path}: {exc}", file=sys.stderr)
+            continue
+        results.extend(file_results)
+        if campaign is not None:
+            campaigns.append(campaign)
     header = (
         f"{'design':<10} {'strategy':<12} {'engine':<12} "
         f"{'error':<24} {'det':<5} {'loc':<5} {'fix':<5} "
@@ -407,16 +445,140 @@ def cmd_report(args: argparse.Namespace) -> int:
             f"{str(r.fixed):<5} {r.n_probes:>6} {r.n_commits:>7} "
             f"{work:>11.0f} {r.wall_seconds:>8.2f}"
         )
-    if "results" in data:
-        print(
-            f"\n{campaign.n_runs} runs, {campaign.n_detected} detected, "
-            f"{campaign.n_localized} localized, {campaign.n_fixed} fixed"
-        )
+    print()
+    for campaign in campaigns:
+        print(campaign.summary_line())
         if campaign.cache is not None:
             print(
                 "tile cache: {hits:.0f} hits / {misses:.0f} misses "
                 "(hit rate {hit_rate:.2f})".format(**campaign.cache)
             )
+    if len(sources) > 1 or not campaigns:
+        detected = sum(1 for r in results if r.detected)
+        localized = sum(1 for r in results if r.localized)
+        fixed = sum(1 for r in results if r.fixed)
+        print(
+            f"{len(results)} result{'s' if len(results) != 1 else ''}, "
+            f"{detected} detected, {localized} localized, {fixed} fixed "
+            f"across {len(sources)} file{'s' if len(sources) != 1 else ''}"
+        )
+    return 0 if results else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.daemon import (
+        ServiceConfig,
+        default_socket_path,
+        serve,
+    )
+
+    overrides = {}
+    if args.heartbeat_interval is not None:
+        overrides["heartbeat_interval_s"] = args.heartbeat_interval
+    if args.heartbeat_grace is not None:
+        overrides["heartbeat_timeout_s"] = args.heartbeat_grace
+    config = ServiceConfig(
+        socket_path=args.socket or default_socket_path(args.cache_dir),
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        spool_dir=args.spool_dir,
+        hard_timeout_s=args.hard_timeout_s,
+        warm_max_entries=args.warm_entries,
+        max_requeues=args.max_requeues,
+        **overrides,
+    )
+    return serve(config)
+
+
+def _client(args: argparse.Namespace):
+    from repro.service.client import Client
+    from repro.service.daemon import default_socket_path
+
+    return Client(args.socket or default_socket_path())
+
+
+def _print_result_response(response: dict, args) -> int:
+    result = RunResult.from_dict(response["result"])
+    info = sys.stderr if getattr(args, "json", None) == "-" else sys.stdout
+    print(_summary_line(result), file=info)
+    warm = response.get("warm") or {}
+    if warm:
+        print(
+            f"  warm: hit={warm.get('hit')} "
+            f"service_seconds={warm.get('service_seconds')}",
+            file=info,
+        )
+    if getattr(args, "json", None):
+        _emit_json(response["result"], args.json)
+    return 0 if result.status in ("ok", "degraded") else 1
+
+
+def cmd_client_ping(args: argparse.Namespace) -> int:
+    print(json.dumps(_client(args).ping(), sort_keys=True))
+    return 0
+
+
+def cmd_client_submit(args: argparse.Namespace) -> int:
+    client = _client(args)
+    spec = _spec_from_args(args)
+    job = client.submit(spec, priority=args.priority, fresh=args.fresh)
+    if not args.wait:
+        print(json.dumps(job, sort_keys=True))
+        return 0
+    response = client.wait(job["job"], timeout_s=args.wait_timeout)
+    return _print_result_response(response, args)
+
+
+def cmd_client_submit_batch(args: argparse.Namespace) -> int:
+    client = _client(args)
+    base = _spec_from_args(args)
+    response = client.submit_batch(
+        base,
+        priority=args.priority,
+        fresh=args.fresh,
+        designs=_parse_csv(args.designs),
+        strategies=_parse_csv(args.strategies),
+        engines=_parse_csv(args.engines),
+        error_kinds=_parse_csv(args.error_kinds),
+        error_seeds=_parse_csv(args.error_seeds, int),
+        seeds=_parse_csv(args.seeds, int),
+    )
+    jobs = response["jobs"]
+    if not args.wait:
+        print(json.dumps(jobs, sort_keys=True, indent=2))
+        return 0
+    worst = 0
+    for job in jobs:
+        settled = client.wait(job["job"], timeout_s=args.wait_timeout)
+        worst = max(worst, _print_result_response(settled, args))
+    return worst
+
+
+def cmd_client_status(args: argparse.Namespace) -> int:
+    response = _client(args).status(args.job)
+    print(json.dumps(response, sort_keys=True, indent=2))
+    return 0
+
+
+def cmd_client_result(args: argparse.Namespace) -> int:
+    response = _client(args).result(args.job, timeout_s=args.wait_timeout)
+    return _print_result_response(response, args)
+
+
+def cmd_client_events(args: argparse.Namespace) -> int:
+    for event in _client(args).events(args.job):
+        print(json.dumps(event, sort_keys=True), flush=True)
+    return 0
+
+
+def cmd_client_stats(args: argparse.Namespace) -> int:
+    print(json.dumps(_client(args).stats(), sort_keys=True, indent=2))
+    return 0
+
+
+def cmd_client_shutdown(args: argparse.Namespace) -> int:
+    _client(args).shutdown()
+    print("service stopping")
     return 0
 
 
@@ -488,9 +650,129 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--json", metavar="PATH|-")
     p_bench.set_defaults(func=cmd_bench)
 
-    p_rep = sub.add_parser("report", help="pretty-print a results JSON")
-    p_rep.add_argument("file", help="path written by run/campaign --json")
+    p_rep = sub.add_parser(
+        "report",
+        help="pretty-print results: a saved JSON, a JSONL journal, or "
+             "a directory of either (aggregate summary)",
+    )
+    p_rep.add_argument(
+        "file",
+        help="a run/campaign JSON, a .jsonl journal, or a directory "
+             "of result/journal files (e.g. a campaign spool)",
+    )
     p_rep.set_defaults(func=cmd_report)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the warm-start debug-service daemon"
+    )
+    p_serve.add_argument("--socket", metavar="PATH",
+                         help="unix socket to listen on (default: "
+                              "<cache-dir>/repro-service.sock)")
+    p_serve.add_argument("--cache-dir", dest="cache_dir", metavar="DIR",
+                         help="tile-config persistence + spool root; "
+                              "workers start warm from it")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="resident worker processes (0 = queue "
+                              "only; jobs wait for a restart with "
+                              "workers)")
+    p_serve.add_argument("--spool-dir", dest="spool_dir", metavar="DIR",
+                         help="job spool override (default: "
+                              "<cache-dir>/service)")
+    p_serve.add_argument("--heartbeat-interval", type=float,
+                         default=None, metavar="SECONDS",
+                         help="worker heartbeat cadence (default 0.25)")
+    p_serve.add_argument("--heartbeat-grace", type=float, default=None,
+                         metavar="SECONDS",
+                         help="event silence before a worker is "
+                              "declared wedged and killed (default 15)")
+    p_serve.add_argument("--hard-timeout", type=float,
+                         dest="hard_timeout_s", metavar="SECONDS",
+                         help="per-job hard wall-clock ceiling "
+                              "(default: derived from each spec's "
+                              "--timeout)")
+    p_serve.add_argument("--warm-entries", type=int, default=8,
+                         help="warm-registry LRU bound per worker")
+    p_serve.add_argument("--max-requeues", type=int, default=1,
+                         dest="max_requeues",
+                         help="worker deaths tolerated per job before "
+                              "it settles as failed")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_client = sub.add_parser(
+        "client", help="talk to a running debug-service daemon"
+    )
+    client_sub = p_client.add_subparsers(dest="client_command",
+                                         required=True)
+
+    def _client_parser(name: str, help_text: str):
+        p = client_sub.add_parser(name, help=help_text)
+        p.add_argument("--socket", metavar="PATH",
+                       help="daemon socket (default: "
+                            "/tmp/repro-service.sock)")
+        return p
+
+    p_c = _client_parser("ping", "liveness check")
+    p_c.set_defaults(func=cmd_client_ping)
+
+    p_c = _client_parser("submit", "submit one spec")
+    _add_spec_arguments(p_c)
+    p_c.add_argument("--priority", type=int, default=0,
+                     help="higher runs first (default 0)")
+    p_c.add_argument("--fresh", action="store_true",
+                     help="re-run even if this spec already has a "
+                          "result (dedup override)")
+    p_c.add_argument("--wait", action="store_true",
+                     help="block until the job settles and print the "
+                          "result summary")
+    p_c.add_argument("--wait-timeout", type=float, default=600.0,
+                     dest="wait_timeout", metavar="SECONDS")
+    p_c.add_argument("--json", metavar="PATH|-",
+                     help="with --wait: write the RunResult JSON")
+    p_c.set_defaults(func=cmd_client_submit)
+
+    p_c = _client_parser("submit-batch",
+                         "expand a campaign matrix server-side")
+    _add_spec_arguments(p_c)
+    p_c.add_argument("--designs", help="comma-separated design names")
+    p_c.add_argument("--strategies", help="comma-separated strategies")
+    p_c.add_argument("--engines", help="comma-separated engines")
+    p_c.add_argument("--error-kinds", dest="error_kinds",
+                     help="comma-separated error kinds")
+    p_c.add_argument("--error-seeds", dest="error_seeds",
+                     help="comma-separated error seeds")
+    p_c.add_argument("--seeds", help="comma-separated campaign seeds")
+    p_c.add_argument("--priority", type=int, default=0)
+    p_c.add_argument("--fresh", action="store_true")
+    p_c.add_argument("--wait", action="store_true",
+                     help="block until every job settles")
+    p_c.add_argument("--wait-timeout", type=float, default=600.0,
+                     dest="wait_timeout", metavar="SECONDS")
+    p_c.add_argument("--json", metavar="PATH|-",
+                     help="with --wait: write each RunResult JSON")
+    p_c.set_defaults(func=cmd_client_submit_batch)
+
+    p_c = _client_parser("status", "job state (or the whole queue)")
+    p_c.add_argument("job", nargs="?", default=None,
+                     help="job digest (omit for all jobs)")
+    p_c.set_defaults(func=cmd_client_status)
+
+    p_c = _client_parser("result", "final RunResult of a job")
+    p_c.add_argument("job", help="job digest")
+    p_c.add_argument("--wait-timeout", type=float, default=None,
+                     dest="wait_timeout", metavar="SECONDS",
+                     help="block up to this long for an unfinished job")
+    p_c.add_argument("--json", metavar="PATH|-")
+    p_c.set_defaults(func=cmd_client_result)
+
+    p_c = _client_parser("events", "stream a job's pipeline events")
+    p_c.add_argument("job", help="job digest")
+    p_c.set_defaults(func=cmd_client_events)
+
+    p_c = _client_parser("stats", "queue depth, warm hits, workers")
+    p_c.set_defaults(func=cmd_client_stats)
+
+    p_c = _client_parser("shutdown", "drain workers and stop the daemon")
+    p_c.set_defaults(func=cmd_client_shutdown)
 
     p_cache = sub.add_parser(
         "cache", help="inspect a persisted tile-config cache"

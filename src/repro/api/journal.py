@@ -1,14 +1,20 @@
-"""`CampaignJournal` — append-only completion log for resumable campaigns.
+"""Append-only JSONL journals — resumable campaigns and service spools.
 
 A campaign that dies at run 800 of 1000 (SIGINT, OOM, power) should
-resume at 801, not 1.  The journal is the minimum machinery that makes
-that true: one JSONL line per *completed* run, keyed by
-:meth:`RunSpec.digest` (which excludes harness-only fields like chaos
-injection, so a resumed invocation without ``--chaos`` still matches),
-appended and fsynced the moment the run finishes.  Append-only means a
-crash can at worst truncate the final line — :meth:`load` tolerates a
-torn tail by skipping lines that do not parse, so the journal is never
-a new single point of failure.
+resume at 801, not 1; a debug-service daemon that restarts should pick
+its queued jobs back up, not drop them.  :class:`JsonlJournal` is the
+minimum machinery that makes both true: one flushed + fsynced JSON line
+per record, appended the moment the event happens.  Append-only means a
+crash can at worst truncate the final line — :meth:`JsonlJournal.records`
+tolerates a torn tail by skipping lines that do not parse, so a journal
+is never a new single point of failure.
+
+:class:`CampaignJournal` specializes the record shape for completed
+pipeline runs, keyed by :meth:`RunSpec.digest` (which excludes
+harness-only fields like chaos injection, so a resumed invocation
+without ``--chaos`` still matches).  The service layer
+(:mod:`repro.service.queue`) reuses the same primitives for its pending
+spool and results log.
 """
 
 from __future__ import annotations
@@ -19,20 +25,15 @@ import os
 _JOURNAL_VERSION = 1
 
 
-class CampaignJournal:
-    """Append-only JSONL record of completed campaign runs."""
+class JsonlJournal:
+    """Append-only JSONL file with fsync and torn-tail tolerance."""
 
     def __init__(self, path: str) -> None:
         self.path = path
 
-    def append(self, spec, result) -> None:
-        """Durably record one completed run (flushed + fsynced)."""
-        line = json.dumps({
-            "v": _JOURNAL_VERSION,
-            "digest": spec.digest(),
-            "status": result.status,
-            "result": result.to_dict(),
-        }, sort_keys=True)
+    def append_record(self, record: dict) -> None:
+        """Durably append one record (flushed + fsynced)."""
+        line = json.dumps(record, sort_keys=True)
         parent = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(parent, exist_ok=True)
         with open(self.path, "a+", encoding="utf-8") as handle:
@@ -47,15 +48,15 @@ class CampaignJournal:
             handle.flush()
             os.fsync(handle.fileno())
 
-    def load(self) -> dict:
-        """``{spec_digest: result_dict}`` of every journaled run.
+    def records(self) -> list[dict]:
+        """Every parseable record, in append order.
 
-        Later entries win (a re-executed run supersedes its first
-        attempt); malformed or torn lines are skipped, not fatal.
+        Malformed or torn lines are skipped, not fatal — a journal
+        truncated mid-write still yields everything before the tear.
         """
-        entries: dict = {}
+        out: list[dict] = []
         if not os.path.exists(self.path):
-            return entries
+            return out
         with open(self.path, "r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
@@ -65,10 +66,33 @@ class CampaignJournal:
                     record = json.loads(line)
                 except ValueError:
                     continue  # torn tail from a mid-write crash
-                if not isinstance(record, dict):
-                    continue
-                digest = record.get("digest")
-                result = record.get("result")
-                if isinstance(digest, str) and isinstance(result, dict):
-                    entries[digest] = result
+                if isinstance(record, dict):
+                    out.append(record)
+        return out
+
+
+class CampaignJournal(JsonlJournal):
+    """Append-only JSONL record of completed campaign runs."""
+
+    def append(self, spec, result) -> None:
+        """Durably record one completed run (flushed + fsynced)."""
+        self.append_record({
+            "v": _JOURNAL_VERSION,
+            "digest": spec.digest(),
+            "status": result.status,
+            "result": result.to_dict(),
+        })
+
+    def load(self) -> dict:
+        """``{spec_digest: result_dict}`` of every journaled run.
+
+        Later entries win (a re-executed run supersedes its first
+        attempt); malformed or torn lines are skipped, not fatal.
+        """
+        entries: dict = {}
+        for record in self.records():
+            digest = record.get("digest")
+            result = record.get("result")
+            if isinstance(digest, str) and isinstance(result, dict):
+                entries[digest] = result
         return entries

@@ -215,19 +215,32 @@ class RunContext:
     stage_seconds: dict = field(default_factory=dict)
 
     @classmethod
-    def from_spec(cls, spec, tile_cache=_UNSET) -> "RunContext":
-        """Materialize a context: build the design, device, strategy."""
+    def from_spec(cls, spec, tile_cache=_UNSET, bundle=None, device=None,
+                  golden=None) -> "RunContext":
+        """Materialize a context: build the design, device, strategy.
+
+        ``bundle``/``device``/``golden`` let a warm-state registry
+        (:mod:`repro.service.warm`) inject pre-built artifacts instead
+        of rebuilding them per run; they must be exactly what this
+        method would construct from ``spec`` (warm state is a cache,
+        never a semantic input — the service's bit-identity tests hold
+        the registry to that).
+        """
         from repro.api.design import device_for, load_bundle
 
         if tile_cache is _UNSET:
             tile_cache = resolve_tile_cache(spec)
-        bundle = load_bundle(spec)
+        if bundle is None:
+            bundle = load_bundle(spec)
         packed = bundle.packed
-        device = device_for(
-            packed, device=spec.device, channel_width=spec.channel_width,
-            area_overhead=spec.device_overhead,
-        )
-        golden = packed.netlist.copy(f"{packed.netlist.name}.golden")
+        if device is None:
+            device = device_for(
+                packed, device=spec.device,
+                channel_width=spec.channel_width,
+                area_overhead=spec.device_overhead,
+            )
+        if golden is None:
+            golden = packed.netlist.copy(f"{packed.netlist.name}.golden")
         strategy = make_strategy(
             spec.strategy, packed, device, seed=spec.seed,
             preset=spec.effort_preset(), tiling=spec.tiling_options(),
@@ -828,7 +841,7 @@ class DebugPipeline:
 
 def run_spec(spec, hooks: PipelineHooks | None = None,
              tile_cache=_UNSET, return_context: bool = False,
-             chaos=None):
+             chaos=None, warm=None):
     """The facade: one spec in, one JSON-ready result out — always.
 
     Builds the design, runs the staged pipeline (with the diagnose
@@ -853,6 +866,12 @@ def run_spec(spec, hooks: PipelineHooks | None = None,
     ``chaos`` overrides ``spec.chaos`` (the campaign runner passes its
     own config through here); fault selection is deterministic per
     spec, so re-running a chaos campaign reproduces the same failures.
+
+    ``warm`` is an optional warm-state registry
+    (:class:`repro.service.warm.WarmRegistry`): each attempt asks it
+    for pre-built design artifacts (bundle fork, device, shared golden)
+    keyed by the spec's design digest.  Warm state is a pure cache —
+    the result is bit-identical with or without it.
     """
     from repro.api.result import RunResult
     from repro.resilience.budget import backoff_seconds, clamp_backoff
@@ -931,7 +950,11 @@ def run_spec(spec, hooks: PipelineHooks | None = None,
         ctx = None
         t0 = time.perf_counter()
         try:
-            ctx = RunContext.from_spec(current, tile_cache=attempt_cache)
+            warm_parts = (
+                warm.context_parts(current) if warm is not None else {}
+            )
+            ctx = RunContext.from_spec(current, tile_cache=attempt_cache,
+                                       **warm_parts)
             ctx.attempt = attempt
             run_deadline = (
                 Deadline(current.timeout_s, label="run")

@@ -54,7 +54,7 @@ from repro.debug.instrument import add_observation_point
 from repro.debug.strategies import BaseStrategy
 from repro.emu.emulator import Emulator
 from repro.errors import DebugFlowError
-from repro.netlist.cones import ConeIndex
+from repro.netlist.cones import ConeIndex, cone_index_for
 from repro.netlist.core import Netlist, port_name
 from repro.netlist.simulate import initial_state, make_engine
 from repro.resilience.budget import check_deadline
@@ -520,7 +520,7 @@ class _BitsetCandidateOps(_CandidateOps):
 
     def __init__(self, localizer: ConeLocalizer, netlist: Netlist) -> None:
         self.localizer = localizer
-        self.cones = ConeIndex(netlist, stop_at_ffs=False)
+        self.cones = cone_index_for(netlist, stop_at_ffs=False)
         self.candidates = 0
         self.group: list[str] = []
         self.deferred: list[str] = []

@@ -42,9 +42,12 @@ from repro.api.spec import RunSpec
 from repro.resilience.chaos import WORKER_ENV
 from repro.resilience.failure import WORKER_STAGE, RunFailure
 
-#: seconds between child heartbeat events on stdout
+#: default seconds between child heartbeat events on stdout; the parent
+#: may override per run (``heartbeat_interval_s``) — the value rides to
+#: the child inside the request JSON, so both sides always agree
 HEARTBEAT_INTERVAL_S = 0.25
 #: default seconds of event silence before the child is declared wedged
+#: (the watchdog grace; must comfortably exceed the heartbeat interval)
 DEFAULT_HEARTBEAT_TIMEOUT_S = 15.0
 #: hard ceiling = cooperative ``timeout_s`` x factor + slack — generous
 #: enough that the child's own graceful timeout path always wins when
@@ -93,6 +96,12 @@ def _worker_env() -> dict:
     )
     env[WORKER_ENV] = "1"
     return env
+
+
+#: public aliases for the service layer (:mod:`repro.service`), which
+#: spawns its own looping workers but wants identical env + kill policy
+worker_env = _worker_env
+kill_process = _kill
 
 
 class _ChildState:
@@ -157,6 +166,7 @@ def run_supervised(
     hard_timeout_s: float | None = None,
     heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
     stop_event: threading.Event | None = None,
+    heartbeat_interval_s: float | None = None,
 ) -> RunResult:
     """Execute ``spec`` in a spawned, supervised worker process.
 
@@ -165,6 +175,11 @@ def run_supervised(
     ``"timeout"``) result whose single failure record carries stage
     ``"worker"``.  Raises :class:`KeyboardInterrupt` through after
     killing the child, so Ctrl-C unwinds the campaign normally.
+
+    ``heartbeat_interval_s`` overrides the child's heartbeat cadence
+    (default :data:`HEARTBEAT_INTERVAL_S`); it rides to the child in the
+    request JSON so both sides agree, and the caller is responsible for
+    keeping ``heartbeat_timeout_s`` comfortably above it.
     """
     t0 = time.perf_counter()
     ceiling = hard_timeout_for(spec, hard_timeout_s)
@@ -190,7 +205,10 @@ def run_supervised(
     status = "failed"
     try:
         try:
-            proc.stdin.write(json.dumps({"spec": spec.to_dict()}))
+            request: dict = {"spec": spec.to_dict()}
+            if heartbeat_interval_s is not None:
+                request["heartbeat_interval_s"] = float(heartbeat_interval_s)
+            proc.stdin.write(json.dumps(request))
             proc.stdin.close()
         except (BrokenPipeError, OSError):
             pass  # child died before reading; exit code tells the story
@@ -300,12 +318,19 @@ def _emit(payload: dict, lock: threading.Lock) -> None:
         sys.stdout.flush()
 
 
-def _heartbeat_loop(lock: threading.Lock, stop: threading.Event) -> None:
-    while not stop.wait(HEARTBEAT_INTERVAL_S):
+def _heartbeat_loop(lock: threading.Lock, stop: threading.Event,
+                    interval_s: float = HEARTBEAT_INTERVAL_S) -> None:
+    while not stop.wait(interval_s):
         try:
             _emit({"event": "heartbeat"}, lock)
         except (BrokenPipeError, OSError):
             return  # supervisor is gone; the kill follows shortly
+
+
+#: public aliases for the service worker's reuse of the child-side
+#: emit + heartbeat machinery
+emit_event = _emit
+heartbeat_loop = _heartbeat_loop
 
 
 def worker_main() -> int:
@@ -317,6 +342,9 @@ def worker_main() -> int:
     try:
         request = json.loads(sys.stdin.read())
         spec = RunSpec.from_dict(request["spec"])
+        interval_s = float(
+            request.get("heartbeat_interval_s") or HEARTBEAT_INTERVAL_S
+        )
     except BaseException as exc:  # noqa: BLE001 — report, don't crash
         _emit({
             "event": "error",
@@ -326,7 +354,7 @@ def worker_main() -> int:
         }, lock)
         return 1
     beat = threading.Thread(
-        target=_heartbeat_loop, args=(lock, stop), daemon=True
+        target=_heartbeat_loop, args=(lock, stop, interval_s), daemon=True
     )
     beat.start()
     try:

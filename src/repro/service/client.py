@@ -1,0 +1,158 @@
+"""Python client for the debug service — one class, all the verbs.
+
+:class:`Client` speaks the :mod:`repro.service.protocol` over the
+daemon's unix socket: one connection per request, one JSON line out,
+one (or, for ``events``, a stream of) JSON line(s) back.  It is what
+``python -m repro client ...`` wraps and what tests and the
+``service_warm`` benchmark drive programmatically.
+
+The blocking conveniences (:meth:`run`, :meth:`wait`) poll the daemon
+rather than holding a connection open, so a client outliving a daemon
+restart just keeps polling the new instance.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ReproError
+from repro.service import protocol
+
+
+class ServiceError(ReproError):
+    """The daemon answered ``ok: false`` (or not at all)."""
+
+
+class Client:
+    """Thin requester against a running service daemon."""
+
+    def __init__(self, socket_path: str,
+                 timeout_s: float | None = 60.0) -> None:
+        self.socket_path = socket_path
+        self.timeout_s = timeout_s
+
+    # -- plumbing ------------------------------------------------------
+
+    def request(self, payload: dict) -> dict:
+        """One verb round-trip; raises :class:`ServiceError` on error."""
+        try:
+            sock = protocol.connect(self.socket_path, self.timeout_s)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.socket_path}: {exc}"
+            ) from exc
+        try:
+            with sock, sock.makefile("rwb") as stream:
+                stream.write(protocol.encode_line(payload))
+                stream.flush()
+                response = protocol.read_line(stream)
+        except (OSError, ValueError) as exc:
+            raise ServiceError(f"service request failed: {exc}") from exc
+        if response is None:
+            raise ServiceError("service closed the connection")
+        if not response.get("ok", False):
+            raise ServiceError(
+                response.get("error", "service reported an error")
+            )
+        return response
+
+    # -- verbs ---------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request({"verb": "ping"})
+
+    def submit(self, spec, priority: int = 0,
+               fresh: bool = False) -> dict:
+        """Submit one spec (a RunSpec or its dict); returns the job."""
+        spec_dict = spec.to_dict() if hasattr(spec, "to_dict") else spec
+        return self.request({
+            "verb": "submit", "spec": spec_dict,
+            "priority": priority, "fresh": fresh,
+        })
+
+    def submit_batch(self, base, priority: int = 0, fresh: bool = False,
+                     **axes) -> dict:
+        """Expand a campaign matrix server-side; returns all jobs.
+
+        ``axes`` are the :func:`~repro.api.campaign.expand_matrix`
+        keyword lists (``designs``, ``strategies``, ``engines``,
+        ``error_kinds``, ``error_seeds``, ``seeds``, ``n_errors``).
+        """
+        base_dict = base.to_dict() if hasattr(base, "to_dict") else base
+        payload = {
+            "verb": "submit-batch", "base": base_dict,
+            "priority": priority, "fresh": fresh,
+        }
+        payload.update(axes)
+        return self.request(payload)
+
+    def status(self, job: str | None = None) -> dict:
+        payload: dict = {"verb": "status"}
+        if job is not None:
+            payload["job"] = job
+        return self.request(payload)
+
+    def result(self, job: str, timeout_s: float | None = None) -> dict:
+        payload: dict = {"verb": "result", "job": job}
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
+        return self.request(payload)
+
+    def stats(self) -> dict:
+        return self.request({"verb": "stats"})
+
+    def shutdown(self) -> dict:
+        return self.request({"verb": "shutdown"})
+
+    def events(self, job: str):
+        """Generator of event dicts for one job, live until ``done``."""
+        try:
+            sock = protocol.connect(self.socket_path, None)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.socket_path}: {exc}"
+            ) from exc
+        with sock, sock.makefile("rwb") as stream:
+            stream.write(protocol.encode_line(
+                {"verb": "events", "job": job}
+            ))
+            stream.flush()
+            header = protocol.read_line(stream)
+            if header is None or not header.get("ok", False):
+                raise ServiceError(
+                    (header or {}).get("error", "events stream refused")
+                )
+            while True:
+                event = protocol.read_line(stream)
+                if event is None:
+                    return
+                yield event
+                if event.get("event") == "done":
+                    return
+
+    # -- blocking conveniences -----------------------------------------
+
+    def wait(self, job: str, timeout_s: float = 600.0,
+             poll_s: float = 0.25) -> dict:
+        """Block until ``job`` settles; returns the ``result`` response."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServiceError(
+                    f"job {job} did not finish within {timeout_s:.0f}s"
+                )
+            try:
+                return self.result(
+                    job, timeout_s=min(remaining, 10.0)
+                )
+            except ServiceError as exc:
+                if "not finished" not in str(exc):
+                    raise
+                time.sleep(poll_s)
+
+    def run(self, spec, priority: int = 0, fresh: bool = False,
+            timeout_s: float = 600.0) -> dict:
+        """Submit + wait: the one-call synchronous path."""
+        job = self.submit(spec, priority=priority, fresh=fresh)
+        return self.wait(job["job"], timeout_s=timeout_s)

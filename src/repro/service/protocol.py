@@ -1,0 +1,98 @@
+"""Wire protocol of the debug service — newline-delimited JSON.
+
+One request per connection: the client connects to the daemon's unix
+socket, writes exactly one JSON object terminated by ``\\n``, and reads
+JSON lines back.  Every verb except ``events`` answers with a single
+response line; ``events`` streams one line per pipeline event (stage /
+probe / commit / heartbeat) and closes with an ``{"event": "done"}``
+sentinel once the job settles.  Plain lines over a stream socket keep
+the whole transport inside the stdlib (``socket`` + ``socketserver``)
+and make the protocol trivially scriptable — ``nc -U`` works.
+
+Requests are ``{"verb": ..., ...}``; responses are ``{"ok": true, ...}``
+or ``{"ok": false, "error": "..."}``.  The verb set:
+
+========  ============================================================
+verb      payload / response
+========  ============================================================
+ping      → ``{"ok": true, "pid": ...}``
+submit    ``spec`` (RunSpec dict), optional ``priority`` (higher runs
+          first), ``fresh`` (re-run even if a result exists) →
+          job descriptor
+submit-batch  ``base`` spec dict + campaign axes (``designs``,
+          ``strategies``, ``engines``, ``error_kinds``,
+          ``error_seeds``, ``seeds``, ``n_errors``) expanded
+          server-side → job descriptor list
+status    ``job`` digest (omit for all jobs) → job descriptor(s)
+result    ``job`` digest → final RunResult dict (error if unfinished)
+events    ``job`` digest → JSONL event stream, ``done`` sentinel last
+stats     → queue depth, warm hit rates, per-worker uptime
+shutdown  → ``{"ok": true}``, then the daemon drains and exits
+========  ============================================================
+
+Job identity is :meth:`RunSpec.digest` — the same key the campaign
+journal resumes by — so duplicate submissions of one spec coalesce.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+PROTOCOL_VERSION = 1
+
+VERBS = (
+    "ping",
+    "submit",
+    "submit-batch",
+    "status",
+    "result",
+    "events",
+    "stats",
+    "shutdown",
+)
+
+#: maximum accepted request-line length (a spec dict is ~1 KiB; this is
+#: generous headroom for large batch requests, not a real limit)
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+def encode_line(payload: dict) -> bytes:
+    """One protocol line: compact JSON + newline."""
+    return json.dumps(payload, sort_keys=True).encode() + b"\n"
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one protocol line (raising ``ValueError`` when malformed)."""
+    payload = json.loads(line.decode())
+    if not isinstance(payload, dict):
+        raise ValueError("protocol line must be a JSON object")
+    return payload
+
+
+def read_line(stream) -> dict | None:
+    """Read one protocol line from a file-like stream (None on EOF)."""
+    line = stream.readline(MAX_LINE_BYTES)
+    if not line:
+        return None
+    return decode_line(line)
+
+
+def connect(socket_path: str, timeout_s: float | None = None
+            ) -> socket.socket:
+    """An AF_UNIX stream connection to the daemon."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    if timeout_s is not None:
+        sock.settimeout(timeout_s)
+    sock.connect(socket_path)
+    return sock
+
+
+def error_response(message: str) -> dict:
+    return {"ok": False, "error": message}
+
+
+def ok_response(**fields) -> dict:
+    payload = {"ok": True}
+    payload.update(fields)
+    return payload

@@ -306,6 +306,12 @@ class TileConfigStore:
         self.root = root
         self.quarantine_dir = root + ".quarantine"
         self._lock_path = os.path.join(root, ".lock")
+        #: addresses this handle has already seen on disk — a long-lived
+        #: holder (service worker) write-backs incrementally without
+        #: re-stat()ing every entry each time; membership only ever
+        #: means "was present once", which is safe because entries are
+        #: content-addressed and never rewritten
+        self._known: set[str] = set()
 
     # -- naming --------------------------------------------------------
 
@@ -346,8 +352,12 @@ class TileConfigStore:
         existing file never needs rewriting — which is exactly what
         makes concurrent write-backs from many workers safe.
         """
+        digest = self.address(key)
+        if digest in self._known:
+            return False
         path = self.entry_path(key)
         if os.path.exists(path):
+            self._known.add(digest)
             return False
         payload = pickle.dumps(config, protocol=pickle.HIGHEST_PROTOCOL)
         wrapper = {
@@ -366,6 +376,7 @@ class TileConfigStore:
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, path)
+            self._known.add(digest)
         finally:
             if os.path.exists(tmp):  # a failed replace must not litter
                 try:
@@ -465,6 +476,7 @@ class TileConfigStore:
                     self.quarantine(path)
                     continue
                 key, config = entry
+                self._known.add(self.address(key))
                 cache.store_quietly(key, config)
                 merged += 1
         return merged

@@ -1,0 +1,388 @@
+"""The debug service: warm registry, job queue, daemon round-trips.
+
+The service's one invariant is that warm state is a *cache*, never a
+semantic input: a daemon answer must be bit-identical (modulo timings
+and attempt metadata) to an in-process :func:`run_spec` of the same
+spec, whether the warm registry hit or missed.  Everything here — the
+invalidation axes, the LRU bound, the fork structural digest, the
+cold/warm daemon comparison, worker-death re-queues, restart resume —
+is a facet of that invariant.
+"""
+
+import contextlib
+import json
+import os
+
+import pytest
+
+from repro.api.campaign import CampaignResult
+from repro.api.design import load_bundle
+from repro.api.journal import CampaignJournal, JsonlJournal
+from repro.api.pipeline import run_spec
+from repro.api.result import RunResult
+from repro.api.spec import RunSpec
+from repro.resilience.failure import WORKER_STAGE
+from repro.service.client import Client, ServiceError
+from repro.service.daemon import ReproService, ServiceConfig
+from repro.service.queue import DONE, QUEUED, JobQueue
+from repro.service.warm import (
+    WarmRegistry,
+    design_digest,
+    fork_bundle,
+    warm_key,
+)
+
+#: the cheapest spec that actually excites and fixes a bug
+#: (error_seed=0 on 9sym never excites — keep seeds >= 1)
+FAST = dict(design="9sym", preset="fast", max_probes=6, cache="off",
+            error_seed=1)
+
+#: result fields that legitimately differ between two executions of the
+#: same spec — wall clock, per-stage timings, attempt bookkeeping
+VOLATILE = {"wall_seconds", "timings", "effort", "cache", "attempts",
+            "n_commit_cache_hits"}
+
+
+def stable(result_dict: dict) -> dict:
+    """A result dict with the volatile, timing-shaped fields removed."""
+    return {k: v for k, v in result_dict.items() if k not in VOLATILE}
+
+
+def netlist_digest(netlist) -> tuple:
+    """Canonical structural signature: tables, wiring, connectivity."""
+    insts = tuple(
+        (
+            inst.name,
+            inst.kind.value,
+            tuple(n.name for n in inst.inputs),
+            inst.output.name if inst.output else None,
+            tuple(sorted(inst.params.items())),
+        )
+        for inst in sorted(netlist.instances(), key=lambda i: i.name)
+    )
+    nets = tuple(
+        (
+            net.name,
+            net.driver.name if net.driver else None,
+            tuple(sorted((i.name, idx) for i, idx in net.sinks)),
+        )
+        for net in sorted(netlist.nets(), key=lambda n: n.name)
+    )
+    return insts, nets
+
+
+@contextlib.contextmanager
+def service(tmp_path, **overrides):
+    """A running daemon + client against a tmp socket and spool."""
+    config = dict(
+        socket_path=str(tmp_path / "svc.sock"),
+        spool_dir=str(tmp_path / "spool"),
+        workers=1,
+    )
+    config.update(overrides)
+    svc = ReproService(ServiceConfig(**config))
+    svc.start()
+    try:
+        yield svc, Client(config["socket_path"])
+    finally:
+        svc.stop()
+
+
+# ----------------------------------------------------------------------
+# warm registry: keys, invalidation, LRU
+# ----------------------------------------------------------------------
+
+def test_warm_key_covers_every_design_axis():
+    base = RunSpec(**FAST)
+    # error/debug axes do not change what the design *is*: same key
+    same = RunSpec(**dict(FAST, error_seed=3, seed=9, strategy="sat",
+                          max_probes=2))
+    assert warm_key(same) == warm_key(base)
+    # any axis feeding bundle or device construction must miss
+    for change in (
+        dict(preset="thorough"),
+        dict(device="XC4005"),
+        dict(channel_width=9),
+        dict(device_overhead=0.5),
+        dict(design="styr"),
+        dict(design="random", design_params={"n_gates": 40}),
+    ):
+        other = RunSpec(**dict(FAST, **change))
+        assert warm_key(other) != warm_key(base), change
+    # design_params feed the digest half, not the device/preset half
+    p1 = RunSpec(**dict(FAST, design="random",
+                        design_params={"n_gates": 40}))
+    p2 = RunSpec(**dict(FAST, design="random",
+                        design_params={"n_gates": 48}))
+    assert design_digest(p1) != design_digest(p2)
+
+
+def test_warm_lookup_hits_and_golden_mutation_invalidates():
+    registry = WarmRegistry()
+    spec = RunSpec(**FAST)
+    entry, hit = registry.lookup(spec)
+    assert not hit and registry.misses == 1
+    again, hit = registry.lookup(spec)
+    assert hit and again is entry and registry.hits == 1
+    assert registry.would_hit(spec)
+    # the pipeline must never mutate the shared golden; if anything
+    # does, the revision guard declares the entry stale
+    entry.golden.add_net("warm_guard_probe")
+    assert not registry.would_hit(spec)
+    rebuilt, hit = registry.lookup(spec)
+    assert not hit and rebuilt is not entry
+    assert registry.invalidations == 1
+
+
+def test_forked_bundle_is_structurally_identical_and_mutation_safe():
+    registry = WarmRegistry()
+    spec = RunSpec(**FAST)
+    parts = registry.context_parts(spec)
+    cold = load_bundle(spec)
+    # structural identity with a cold build — the whole reason a fork
+    # can stand in for a rebuild
+    assert (netlist_digest(parts["bundle"].packed.netlist)
+            == netlist_digest(cold.packed.netlist))
+    # but never the pristine object itself: each job gets its own copy
+    entry, _ = registry.lookup(spec)
+    assert parts["bundle"] is not entry.bundle
+    assert parts["bundle"].packed.netlist is not entry.bundle.packed.netlist
+    second = fork_bundle(entry.bundle)
+    assert second.packed.netlist is not parts["bundle"].packed.netlist
+    # the golden *is* shared (read-only) — that is what keeps its
+    # compiled kernel warm across jobs
+    assert registry.context_parts(spec)["golden"] is parts["golden"]
+
+
+def test_warm_runs_are_bit_identical_never_stale_replays():
+    registry = WarmRegistry()
+    spec1 = RunSpec(**FAST)
+    spec2 = RunSpec(**dict(FAST, error_seed=2))
+    cold1 = run_spec(spec1)
+    cold2 = run_spec(spec2)
+    warm1 = run_spec(spec1, warm=registry)            # registry miss
+    warm2 = run_spec(spec2, warm=registry)            # warm hit
+    assert registry.hits >= 1 and registry.misses == 1
+    # each warm answer equals its own cold answer — a hit on the seed-1
+    # entry must not replay seed-1 artifacts into the seed-2 run
+    assert stable(warm1.to_dict()) == stable(cold1.to_dict())
+    assert stable(warm2.to_dict()) == stable(cold2.to_dict())
+    assert warm2.error_instance == cold2.error_instance
+
+
+def test_warm_registry_lru_eviction_at_bound():
+    registry = WarmRegistry(max_entries=2)
+    specs = [RunSpec(**dict(FAST, device_overhead=ov))
+             for ov in (0.35, 0.55, 0.75)]
+    for spec in specs:
+        registry.lookup(spec)
+    assert len(registry) == 2
+    assert registry.evictions == 1
+    # oldest out, newest in
+    assert not registry.would_hit(specs[0])
+    assert registry.would_hit(specs[1])
+    assert registry.would_hit(specs[2])
+    # touching an entry refreshes it: next eviction takes the other one
+    registry.lookup(specs[1])
+    registry.lookup(specs[0])  # rebuild; evicts specs[2], not specs[1]
+    assert registry.would_hit(specs[1])
+    assert not registry.would_hit(specs[2])
+    stats = registry.stats()
+    assert stats["entries"] == 2 and stats["evictions"] == 2
+
+
+# ----------------------------------------------------------------------
+# job queue: priorities, dedup, spool resume
+# ----------------------------------------------------------------------
+
+def test_queue_priority_dedup_and_fresh():
+    queue = JobQueue()
+    a = RunSpec(**FAST)
+    b = RunSpec(**dict(FAST, error_seed=2))
+    job_a, deduped = queue.submit(a)
+    assert not deduped
+    again, deduped = queue.submit(a)
+    assert deduped and again is job_a
+    job_b, _ = queue.submit(b, priority=5)
+    assert queue.claim(timeout_s=1.0) is job_b  # priority first
+    assert queue.claim(timeout_s=1.0) is job_a
+    assert queue.claim(timeout_s=0.05) is None  # empty → timeout
+    queue.finish(job_a, {"status": "ok"})
+    done, deduped = queue.submit(a)
+    assert deduped and done.state == DONE
+    fresh, deduped = queue.submit(a, fresh=True)
+    assert not deduped and fresh is job_a
+    assert fresh.state == QUEUED and fresh.result is None
+    assert fresh.attempts == 0 and not len(fresh.events)
+
+
+def test_queue_spool_survives_restart_without_duplicates(tmp_path):
+    spool = str(tmp_path / "spool")
+    a = RunSpec(**FAST)
+    b = RunSpec(**dict(FAST, error_seed=2))
+    first = JobQueue(spool_dir=spool)
+    first.submit(a)
+    first.submit(b)
+    claimed = first.claim(timeout_s=1.0)
+    first.finish(claimed, {"status": "ok", "marker": 41})
+
+    resumed = JobQueue(spool_dir=spool)
+    assert resumed.stats() == {"jobs": 2, "queued": 1, "running": 0,
+                               "done": 1}
+    # the finished job keeps answering with its journaled result
+    kept = resumed.get(claimed.digest)
+    assert kept.state == DONE and kept.result["marker"] == 41
+    # the unfinished one is re-queued exactly once
+    pending = resumed.claim(timeout_s=1.0)
+    assert pending.digest == b.digest()
+    assert resumed.claim(timeout_s=0.05) is None
+
+
+# ----------------------------------------------------------------------
+# daemon round-trips
+# ----------------------------------------------------------------------
+
+def test_daemon_cold_warm_bit_identity_dedup_and_events(tmp_path):
+    spec = RunSpec(**FAST)
+    local = run_spec(spec)
+    with service(tmp_path) as (svc, client):
+        assert client.ping()["version"] == 1
+        cold = client.run(spec)
+        assert not cold["warm"]["hit"]
+        assert cold["result"]["status"] == "ok"
+        # same digest, no fresh → coalesces onto the done job
+        dedup = client.submit(spec)
+        assert dedup["deduped"] and dedup["state"] == "done"
+        warm = client.run(spec, fresh=True)
+        assert warm["warm"]["hit"]
+        # the invariant: daemon answers equal the in-process answer,
+        # cold and warm alike
+        assert stable(cold["result"]) == stable(local.to_dict())
+        assert stable(warm["result"]) == stable(local.to_dict())
+        # the event stream replays the pipeline's progress and ends
+        # with the done sentinel
+        events = list(client.events(cold["job"]))
+        kinds = [e.get("event") for e in events]
+        assert "stage_start" in kinds and "commit" in kinds
+        assert kinds[-1] == "done"
+        assert events[-1]["status"] == "ok"
+        stats = client.stats()
+        assert stats["queue"]["done"] == 1
+        assert stats["workers"][0]["jobs_done"] == 2
+
+
+def test_daemon_worker_death_requeues_once_and_completes(tmp_path):
+    # the fault SIGKILLs the worker in localize on the first dispatch;
+    # its finite fires-budget died with that process, so the re-queued
+    # attempt runs clean
+    spec = RunSpec(**dict(FAST, chaos={"faults": [
+        {"kind": "worker_kill", "stage": "localize", "fires": 1}]}))
+    with service(tmp_path) as (svc, client):
+        response = client.run(spec, timeout_s=300.0)
+        assert response["result"]["status"] == "ok"
+        assert response["attempts"] == 2
+        events = list(client.events(response["job"]))
+        requeues = [e for e in events if e.get("event") == "requeued"]
+        assert len(requeues) == 1
+        assert requeues[0]["error"] == "WorkerCrashed"
+        assert svc.workers[0].deaths == 1
+
+
+def test_daemon_persistent_death_folds_into_worker_failure(tmp_path):
+    # fires: null — the fault survives re-dispatch, so the job kills
+    # every worker it touches and must settle as failed, carrying one
+    # stage-"worker" failure per death
+    spec = RunSpec(**dict(FAST, chaos={"faults": [
+        {"kind": "worker_kill", "stage": "localize", "fires": None}]}))
+    with service(tmp_path, max_requeues=1) as (svc, client):
+        response = client.run(spec, timeout_s=300.0)
+        result = response["result"]
+        assert result["status"] == "failed"
+        assert len(result["failures"]) == 2
+        assert all(f["stage"] == WORKER_STAGE
+                   for f in result["failures"])
+        assert all(f["error"] == "WorkerCrashed"
+                   for f in result["failures"])
+
+
+def test_daemon_restart_resumes_spool_without_duplicates(tmp_path):
+    spool = str(tmp_path / "spool")
+    specs = [RunSpec(**FAST), RunSpec(**dict(FAST, error_seed=2))]
+    digests = [s.digest() for s in specs]
+
+    # a daemon with no workers accepts work but cannot run it — the
+    # jobs land in the spool and stay there across stop()
+    with service(tmp_path, spool_dir=spool, workers=0) as (svc, client):
+        for spec in specs:
+            accepted = client.submit(spec)
+            assert accepted["state"] == "queued"
+        with pytest.raises(ServiceError, match="not finished"):
+            client.result(digests[0])
+
+    # restart with a worker: the spool replays, both jobs complete
+    with service(tmp_path, spool_dir=spool, workers=1) as (svc, client):
+        for digest, spec in zip(digests, specs):
+            response = client.wait(digest, timeout_s=300.0)
+            assert response["result"]["status"] == "ok"
+            assert response["result"]["spec"]["error_seed"] == \
+                spec.error_seed
+
+    # each job finished exactly once — no duplicate executions
+    records = JsonlJournal(os.path.join(spool, "results.jsonl")).records()
+    assert sorted(r["digest"] for r in records) == sorted(digests)
+
+    # a third start answers from the journal without any worker at all
+    with service(tmp_path, spool_dir=spool, workers=0) as (svc, client):
+        for digest in digests:
+            assert client.result(digest)["result"]["status"] == "ok"
+        assert client.stats()["queue"] == {
+            "jobs": 2, "queued": 0, "running": 0, "done": 2,
+        }
+
+
+# ----------------------------------------------------------------------
+# CLI satellites: report over directories, consistent summaries
+# ----------------------------------------------------------------------
+
+def test_campaign_summary_line_prints_executor_and_workers():
+    empty = CampaignResult(wall_seconds=2.0, workers=4,
+                           executor="process")
+    assert empty.summary_line() == (
+        "0 runs, 0 detected, 0 localized, 0 fixed "
+        "(2.0s, process executor, 4 workers)"
+    )
+    solo = CampaignResult(wall_seconds=0.5)
+    assert solo.summary_line().endswith("(0.5s, thread executor, "
+                                        "1 worker)")
+
+
+def test_report_accepts_a_directory_of_results(tmp_path, capsys):
+    from repro.api.cli import main
+
+    spec = RunSpec(**FAST)
+    result = run_spec(spec)
+
+    report_dir = tmp_path / "results"
+    report_dir.mkdir()
+    # one bare RunResult JSON ...
+    (report_dir / "single.json").write_text(
+        json.dumps(result.to_dict())
+    )
+    # ... one campaign JSON ...
+    campaign = CampaignResult(results=[result], wall_seconds=1.5,
+                              workers=3, executor="process")
+    (report_dir / "campaign.json").write_text(
+        json.dumps(campaign.to_dict())
+    )
+    # ... and one journal, as `campaign --journal` / the service write
+    journal = CampaignJournal(str(report_dir / "journal.jsonl"))
+    journal.append(spec, result)
+    (report_dir / "notes.txt").write_text("ignored")
+
+    assert main(["report", str(report_dir)]) == 0
+    out = capsys.readouterr().out
+    # campaign and report print the identical summary line
+    assert campaign.summary_line() in out
+    assert "process executor, 3 workers" in out
+    assert "3 results" in out and "across 3 files" in out
+    assert out.count("9sym") == 3

@@ -102,6 +102,31 @@ def test_hard_timeout_derivation():
     assert hard_timeout_for(spec, hard_timeout_s=7.0) == 7.0
 
 
+def test_slow_heartbeat_worker_is_not_falsely_killed():
+    # a worker configured to beat once a second must survive a 2.5 s
+    # watchdog grace: interval < grace means silence is never mistaken
+    # for death, however leisurely the beat
+    spec = RunSpec(**FAST)
+    local = run_spec(spec)
+    remote = run_supervised(spec, heartbeat_interval_s=1.0,
+                            heartbeat_timeout_s=2.5)
+    assert remote.status == "ok"
+    assert identical(local, remote)
+
+
+def test_heartbeat_interval_rides_into_the_worker():
+    # the converse proves the knob actually reaches the child: with the
+    # first beat scheduled *after* the grace window, a perfectly healthy
+    # worker is declared heartbeat-lost
+    spec = RunSpec(**dict(FAST, chaos={"faults": [
+        {"kind": "hang", "stage": "localize", "hang_s": 30.0}]}))
+    result = run_supervised(spec, heartbeat_interval_s=10.0,
+                            heartbeat_timeout_s=2.0, hard_timeout_s=60.0)
+    assert result.status == "failed"
+    assert result.failures[0]["stage"] == WORKER_STAGE
+    assert result.failures[0]["error"] == "WorkerHeartbeatLost"
+
+
 def test_worker_kinds_are_inert_in_process():
     # under the thread executor the same chaos config must be a no-op:
     # an in-process SIGKILL would take the whole campaign down
