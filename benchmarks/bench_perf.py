@@ -28,7 +28,11 @@ Measures, per design:
 * **service warm-start** — the same spec submitted twice to a private
   debug-service daemon (:mod:`repro.service`): cold submission pays
   every per-process cost, warm must hit the worker's warm registry,
-  answer bit-identically, and land ``service_warm_speedup`` >= 2x.
+  answer bit-identically, and land ``service_warm_speedup`` >= 2x;
+* **observability overhead** — the largest design's campaign with and
+  without an armed :class:`~repro.obs.trace.Tracer`; the armed run
+  must stay within ``OBS_OVERHEAD_LIMIT_PCT`` of the disarmed one and
+  answer bit-identically.
 
 Results land in ``BENCH_perf.json``; every run also *appends* a
 timestamped summary to the file's ``history`` list, so the perf
@@ -48,7 +52,8 @@ Acceptance gates (checked at the end, non-zero exit on failure):
 * >2.5x end-to-end campaign speedup on ``des`` whenever it is benched;
 * >=2x warm-vs-cold submission latency through the debug service
   (``service_warm``) on the largest design, with the second submission
-  hitting the worker's warm registry and the results bit-identical.
+  hitting the worker's warm registry and the results bit-identical;
+* <5% wall-clock overhead with tracing armed (``obs_overhead``).
 """
 
 from __future__ import annotations
@@ -82,6 +87,8 @@ SPEEDUP_TARGET = 5.0
 COMMIT_SPEEDUP_TARGET = 2.0
 CAMPAIGN_SPEEDUP_TARGET = 2.5
 SERVICE_WARM_TARGET = 2.0
+#: armed tracing may cost at most this much wall-clock over disarmed
+OBS_OVERHEAD_LIMIT_PCT = 5.0
 
 
 def bench_sim_throughput(
@@ -359,6 +366,65 @@ def bench_service_warm(design: str, error_seed: int,
     }
 
 
+def bench_obs_overhead(design: str, error_seed: int,
+                       max_probes: int = 12, iters: int = 2) -> dict:
+    """Wall-clock cost of an armed tracer on a full campaign run.
+
+    The observability layer promises "zero-cost when disarmed" (the
+    default path never touches a tracer) and "cheap when armed".  This
+    section prices the armed half: the same spec run with and without a
+    :class:`~repro.obs.trace.Tracer`, min-of-``iters`` per arm to shed
+    scheduler noise, with semantic bit-identity asserted between arms —
+    tracing observes the run, it must never steer it.
+    """
+    from repro.api import run_spec
+    from repro.obs.trace import Tracer
+
+    spec = RunSpec(
+        design=design, strategy="tiled", seed=1, preset="fast",
+        engine="compiled", error_kind="table_bit", error_seed=error_seed,
+        max_probes=max_probes, cache="private",
+    )
+    run_spec(spec)  # warm-up: imports + kernel lowering, untimed
+
+    def timed(tracer):
+        t0 = time.perf_counter()
+        result = run_spec(spec, tracer=tracer)
+        return time.perf_counter() - t0, result
+
+    plain_s, plain_result = min(
+        (timed(None) for _ in range(iters)), key=lambda t: t[0]
+    )
+    tracers = [Tracer() for _ in range(iters)]
+    traced_s, traced_result = min(
+        (timed(t) for t in tracers), key=lambda t: t[0]
+    )
+    n_events = max(len(t.to_chrome_trace()["traceEvents"])
+                   for t in tracers)
+
+    plain_dict = plain_result.to_dict()
+    traced_dict = traced_result.to_dict()
+    diverged = sorted(
+        k for k in plain_dict
+        if k not in _VOLATILE_RESULT_FIELDS
+        and plain_dict[k] != traced_dict.get(k)
+    )
+    assert not diverged, (
+        f"{design}: traced run diverges from untraced on {diverged}"
+    )
+    overhead_pct = 100.0 * (traced_s - plain_s) / plain_s
+    return {
+        "design": design,
+        "iters": iters,
+        "plain_seconds": round(plain_s, 6),
+        "traced_seconds": round(traced_s, 6),
+        "overhead_pct": round(overhead_pct, 3),
+        "overhead_limit_pct": OBS_OVERHEAD_LIMIT_PCT,
+        "n_trace_events": n_events,
+        "identical_results": True,
+    }
+
+
 def append_history(out_path: str, results: dict) -> list:
     """Load any existing run history and append this run's summary."""
     history = []
@@ -377,6 +443,7 @@ def append_history(out_path: str, results: dict) -> list:
             "largest_localization_speedup"
         ],
         "largest_commit_speedup": results["largest_commit_speedup"],
+        "obs_overhead_pct": results["obs_overhead"]["overhead_pct"],
         "gates_ok": results["gates_ok"],
     }
     for name, data in results["designs"].items():
@@ -557,7 +624,21 @@ def main(argv=None) -> int:
         largest
     ]["service_warm"]["service_warm_speedup"]
 
+    obs = bench_obs_overhead(
+        largest, ERROR_SEEDS.get(largest, 1), max_probes=max_probes
+    )
+    results["obs_overhead"] = obs
+    print(
+        "obs overhead ({}): plain {:.3f}s -> traced {:.3f}s "
+        "({:+.2f}%, {} events, bit-identical; limit {:.0f}%)".format(
+            largest, obs["plain_seconds"], obs["traced_seconds"],
+            obs["overhead_pct"], obs["n_trace_events"],
+            OBS_OVERHEAD_LIMIT_PCT,
+        )
+    )
+
     gates = {
+        "obs_overhead": obs["overhead_pct"] < OBS_OVERHEAD_LIMIT_PCT,
         "service_warm_speedup": (
             results["largest_service_warm_speedup"]
             >= SERVICE_WARM_TARGET

@@ -40,6 +40,7 @@ from repro.api.journal import CampaignJournal
 from repro.api.pipeline import PipelineHooks, resolve_tile_cache, run_spec
 from repro.api.result import RunResult
 from repro.api.spec import RunSpec
+from repro.obs.metrics import METRICS
 from repro.tiling.cache import (
     TileConfigCache,
     load_tile_cache,
@@ -490,6 +491,11 @@ class CampaignRunner:
             """Slot a finished run; True when the campaign must abort."""
             slots[index] = result
             self._journal_append(spec, result)
+            # thread-mode runs already counted themselves in run_spec,
+            # and process-mode child snapshots merge in the supervisor;
+            # the campaign-level view counts every slotted run exactly
+            # once regardless of executor
+            METRICS.inc("repro_campaign_runs_total", status=result.status)
             if (
                 result.status in ("failed", "timeout")
                 and self.on_error == "abort"

@@ -248,11 +248,24 @@ def _emit_json(payload: dict, target: str) -> None:
 def cmd_run(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
     hooks = _ProgressHooks() if args.verbose else None
-    result = run_spec(spec, hooks=hooks)
-    info = sys.stderr if args.json == "-" else sys.stdout
+    tracer = None
+    if args.trace:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+    result = run_spec(spec, hooks=hooks, tracer=tracer,
+                      profile=args.profile)
+    stdout_busy = args.json == "-" or args.trace == "-"
+    info = sys.stderr if stdout_busy else sys.stdout
     print(_summary_line(result), file=info)
     for note in result.notes:
         print(f"  note: {note}", file=info)
+    if tracer is not None:
+        tracer.write_chrome_trace(args.trace)
+        if args.trace != "-":
+            print(f"wrote trace {args.trace} "
+                  "(chrome://tracing / Perfetto; 'report' renders the "
+                  "span tree)", file=info)
     if args.json:
         _emit_json(result.to_dict(), args.json)
     return 0 if (result.detected and result.fixed) else 1
@@ -416,10 +429,70 @@ def _report_sources(target: str) -> list[str]:
     return files
 
 
+def _report_trace(path: str) -> bool:
+    """Render a Chrome trace file as a span tree; False if not one."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return False
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        return False
+    from repro.obs.trace import render_chrome_tree
+
+    print(render_chrome_tree(data))
+    profile = (data.get("otherData") or {}).get("profile")
+    if profile:
+        print()
+        _print_profile(profile)
+    return True
+
+
+def _print_profile(profile: dict) -> None:
+    print(f"stage profile ({profile.get('profiler', '?')}, top "
+          "functions by self time):")
+    for stage, rows in (profile.get("stages") or {}).items():
+        print(f"  {stage}:")
+        for row in rows[:5]:
+            print(f"    {row['tottime_s']:8.4f}s self "
+                  f"{row['cumtime_s']:8.4f}s cum "
+                  f"{row['ncalls']:>8}x  {row['func']}")
+
+
+def _print_timings(results: list) -> None:
+    """Per-stage latency distribution across many results.
+
+    Built from the same :class:`~repro.obs.metrics.Histogram` the
+    metrics registry uses, so ``report --timings`` and a scrape of
+    ``repro_stage_seconds`` agree on quantile semantics.
+    """
+    from repro.obs.metrics import Histogram
+
+    stages: dict[str, Histogram] = {}
+    for r in results:
+        for stage, seconds in (r.timings.get("stages") or {}).items():
+            stages.setdefault(stage, Histogram()).observe(seconds)
+    if not stages:
+        print("no per-stage timings recorded in these results")
+        return
+    header = (f"{'stage':<12} {'runs':>5} {'p50 s':>9} {'p95 s':>9} "
+              f"{'max s':>9} {'total s':>9}")
+    print(header)
+    print("-" * len(header))
+    for stage, hist in stages.items():
+        print(
+            f"{stage:<12} {hist.count:>5} {hist.quantile(0.5):>9.3f} "
+            f"{hist.quantile(0.95):>9.3f} {hist.max:>9.3f} "
+            f"{hist.total:>9.3f}"
+        )
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     results: list = []
     campaigns: list = []
     sources = _report_sources(args.file)
+    if len(sources) == 1 and _report_trace(sources[0]):
+        return 0
     for path in sources:
         try:
             file_results, campaign = _load_report_file(path)
@@ -453,7 +526,9 @@ def cmd_report(args: argparse.Namespace) -> int:
                 "tile cache: {hits:.0f} hits / {misses:.0f} misses "
                 "(hit rate {hit_rate:.2f})".format(**campaign.cache)
             )
-    if len(sources) > 1 or not campaigns:
+    if args.timings:
+        _print_timings(results)
+    elif len(sources) > 1 or not campaigns:
         detected = sum(1 for r in results if r.detected)
         localized = sum(1 for r in results if r.localized)
         fixed = sum(1 for r in results if r.fixed)
@@ -521,7 +596,8 @@ def cmd_client_ping(args: argparse.Namespace) -> int:
 def cmd_client_submit(args: argparse.Namespace) -> int:
     client = _client(args)
     spec = _spec_from_args(args)
-    job = client.submit(spec, priority=args.priority, fresh=args.fresh)
+    job = client.submit(spec, priority=args.priority, fresh=args.fresh,
+                        trace=args.trace)
     if not args.wait:
         print(json.dumps(job, sort_keys=True))
         return 0
@@ -572,7 +648,12 @@ def cmd_client_events(args: argparse.Namespace) -> int:
 
 
 def cmd_client_stats(args: argparse.Namespace) -> int:
-    print(json.dumps(_client(args).stats(), sort_keys=True, indent=2))
+    response = _client(args).stats(metrics=args.metrics)
+    if args.metrics:
+        # the exposition text alone, scrape-ready for Prometheus
+        sys.stdout.write(response.get("metrics_text", ""))
+        return 0
+    print(json.dumps(response, sort_keys=True, indent=2))
     return 0
 
 
@@ -601,6 +682,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_spec_arguments(p_run)
     p_run.add_argument("--json", metavar="PATH|-",
                        help="write the RunResult JSON ('-' = stdout)")
+    p_run.add_argument("--trace", metavar="PATH|-",
+                       help="record a span trace and write it as Chrome "
+                            "trace_event JSON (chrome://tracing, "
+                            "Perfetto, or 'report FILE')")
+    p_run.add_argument("--profile", action="store_true",
+                       help="profile each stage with cProfile; top "
+                            "functions land in the result JSON under "
+                            "'profile'")
     p_run.add_argument("--verbose", action="store_true")
     p_run.set_defaults(func=cmd_run)
 
@@ -657,8 +746,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_rep.add_argument(
         "file",
-        help="a run/campaign JSON, a .jsonl journal, or a directory "
-             "of result/journal files (e.g. a campaign spool)",
+        help="a run/campaign JSON, a .jsonl journal, a directory "
+             "of result/journal files (e.g. a campaign spool), or a "
+             "Chrome trace written by 'run --trace'",
+    )
+    p_rep.add_argument(
+        "--timings", action="store_true",
+        help="per-stage latency distribution (p50/p95/max) across "
+             "every result instead of the aggregate tail line",
     )
     p_rep.set_defaults(func=cmd_report)
 
@@ -721,6 +816,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_c.add_argument("--fresh", action="store_true",
                      help="re-run even if this spec already has a "
                           "result (dedup override)")
+    p_c.add_argument("--trace", action="store_true",
+                     help="arm a tracer in the worker; 'client events' "
+                          "streams span_start/span_end lines")
     p_c.add_argument("--wait", action="store_true",
                      help="block until the job settles and print the "
                           "result summary")
@@ -769,6 +867,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_c.set_defaults(func=cmd_client_events)
 
     p_c = _client_parser("stats", "queue depth, warm hits, workers")
+    p_c.add_argument("--metrics", action="store_true",
+                     help="print the daemon's metrics registry in "
+                          "Prometheus text exposition format")
     p_c.set_defaults(func=cmd_client_stats)
 
     p_c = _client_parser("shutdown", "drain workers and stop the daemon")

@@ -48,6 +48,9 @@ from repro.debug.testgen import random_stimulus
 from repro.netlist.core import Netlist
 from repro.netlist.validate import check_netlist
 from repro.errors import DeadlineExceeded
+from repro.obs.metrics import METRICS
+from repro.obs.profile import ProfilingHooks, StageProfiler
+from repro.obs.trace import TracingHooks, maybe_span, tracer_scope
 from repro.pnr.effort import EffortMeter
 from repro.resilience.budget import Deadline, check_deadline, deadline_scope
 from repro.resilience.chaos import chaos_stage_event
@@ -625,43 +628,45 @@ class DiagnoseLoop(Stage):
             check_deadline("diagnose.round")
             round_no = len(ctx.rounds) + 1
             ctx.probes_retired_this_round = 0
-            for stage in (self.localize, self.correct):
-                run_timed_stage(stage, ctx, hooks)
-            if not ctx.detected:
-                return
-            residual = ctx.detect()
-            ctx.remaining = residual
-            loc = ctx.localization
-            ctx.rounds.append(RoundRecord(
-                round=round_no,
-                n_mismatches=len(ctx.round_mismatches),
-                group_outputs=list(loc.group_outputs) if loc else [],
-                deferred_outputs=list(loc.deferred_outputs) if loc else [],
-                n_probes=loc.n_probes if loc else 0,
-                candidates=sorted(loc.candidates) if loc else [],
-                corrected=list(ctx.round_corrected),
-                sat_eliminated=loc.sat_eliminated if loc else 0,
-                probes_retired=ctx.probes_retired_this_round,
-                residual_mismatches=len(residual),
-                drained=bool(loc.drained) if loc else False,
-            ))
-            if not residual:
-                if (
-                    ctx.verify in ("prove", "both")
-                    and len(ctx.rounds) < budget
-                ):
-                    residual = self._proof_redetect(ctx)
-                if not residual:
+            with maybe_span("round", category="diagnose", round=round_no):
+                for stage in (self.localize, self.correct):
+                    run_timed_stage(stage, ctx, hooks)
+                if not ctx.detected:
                     return
-            if len(ctx.rounds) >= budget:
-                if budget > 1:
-                    ctx.notes.append(
-                        f"{len(residual)} mismatches persist after "
-                        f"{len(ctx.rounds)} diagnosis rounds "
-                        "(round budget exhausted)"
-                    )
-                return
-            ctx.round_mismatches = residual
+                residual = ctx.detect()
+                ctx.remaining = residual
+                loc = ctx.localization
+                ctx.rounds.append(RoundRecord(
+                    round=round_no,
+                    n_mismatches=len(ctx.round_mismatches),
+                    group_outputs=list(loc.group_outputs) if loc else [],
+                    deferred_outputs=list(loc.deferred_outputs)
+                    if loc else [],
+                    n_probes=loc.n_probes if loc else 0,
+                    candidates=sorted(loc.candidates) if loc else [],
+                    corrected=list(ctx.round_corrected),
+                    sat_eliminated=loc.sat_eliminated if loc else 0,
+                    probes_retired=ctx.probes_retired_this_round,
+                    residual_mismatches=len(residual),
+                    drained=bool(loc.drained) if loc else False,
+                ))
+                if not residual:
+                    if (
+                        ctx.verify in ("prove", "both")
+                        and len(ctx.rounds) < budget
+                    ):
+                        residual = self._proof_redetect(ctx)
+                    if not residual:
+                        return
+                if len(ctx.rounds) >= budget:
+                    if budget > 1:
+                        ctx.notes.append(
+                            f"{len(residual)} mismatches persist after "
+                            f"{len(ctx.rounds)} diagnosis rounds "
+                            "(round budget exhausted)"
+                        )
+                    return
+                ctx.round_mismatches = residual
 
     @staticmethod
     def _proof_redetect(ctx: RunContext):
@@ -829,7 +834,8 @@ class DebugPipeline:
                         Deadline(budget, label=f"stage:{stage.name}")
                         if budget else None
                     )
-                    with deadline_scope(scope):
+                    with deadline_scope(scope), \
+                            maybe_span(stage.name, category="stage"):
                         chaos_stage_event(stage.name)
                         stage.run(ctx, hooks)
                     continue
@@ -841,7 +847,7 @@ class DebugPipeline:
 
 def run_spec(spec, hooks: PipelineHooks | None = None,
              tile_cache=_UNSET, return_context: bool = False,
-             chaos=None, warm=None):
+             chaos=None, warm=None, tracer=None, profile: bool = False):
     """The facade: one spec in, one JSON-ready result out — always.
 
     Builds the design, runs the staged pipeline (with the diagnose
@@ -872,6 +878,14 @@ def run_spec(spec, hooks: PipelineHooks | None = None,
     for pre-built design artifacts (bundle fork, device, shared golden)
     keyed by the spec's design digest.  Warm state is a pure cache —
     the result is bit-identical with or without it.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) arms structured tracing
+    for the run: a root ``run`` span per attempt, stage/round/probe
+    spans beneath it, closed with status ``timeout``/``error`` when an
+    attempt dies mid-flight.  ``profile`` scopes a per-stage cProfile
+    over the pipeline and lands the top-N aggregation in
+    ``RunResult.profile``.  Both are strictly additive — observation
+    never changes the computed result.
     """
     from repro.api.result import RunResult
     from repro.resilience.budget import backoff_seconds, clamp_backoff
@@ -933,6 +947,13 @@ def run_spec(spec, hooks: PipelineHooks | None = None,
     injector = ChaosInjector(pipeline_faults) if pipeline_faults else None
     reject_replay = any(f.kind == "replay_reject" for f in fired)
 
+    profiler = StageProfiler() if profile else None
+    run_hooks = hooks
+    if profiler is not None:
+        run_hooks = ProfilingHooks(profiler, inner=run_hooks)
+    if tracer is not None:
+        run_hooks = TracingHooks(tracer, inner=run_hooks)
+
     attempts_allowed = spec.retries + 1
     failures: list[RunFailure] = []
     current = spec
@@ -960,11 +981,30 @@ def run_spec(spec, hooks: PipelineHooks | None = None,
                 Deadline(current.timeout_s, label="run")
                 if current.timeout_s else None
             )
-            with deadline_scope(run_deadline), chaos_scope(injector):
-                DebugPipeline(hooks=hooks).execute(ctx)
+            with tracer_scope(tracer):
+                run_span = None
+                if tracer is not None:
+                    run_span = tracer.begin(
+                        "run", category="run",
+                        design=current.design_label,
+                        digest=current.digest(),
+                        strategy=current.strategy,
+                        error_seed=current.error_seed,
+                        n_errors=current.n_errors,
+                        attempt=attempt,
+                    )
+                with deadline_scope(run_deadline), chaos_scope(injector):
+                    DebugPipeline(hooks=run_hooks).execute(ctx)
+                if tracer is not None:
+                    tracer.end(
+                        run_span, status="ok", fixed=ctx.fixed,
+                        rounds=len(ctx.rounds),
+                    )
             status = "ok"
             break
         except DeadlineExceeded as exc:
+            if tracer is not None:
+                tracer.unwind("timeout")
             failures.append(RunFailure.from_exception(
                 exc, stage=ctx.current_stage if ctx is not None else "setup",
                 elapsed_s=time.perf_counter() - t0, attempt=attempt,
@@ -975,6 +1015,8 @@ def run_spec(spec, hooks: PipelineHooks | None = None,
             status = "timeout"
             break
         except Exception as exc:
+            if tracer is not None:
+                tracer.unwind("error")
             stage = ctx.current_stage if ctx is not None else "setup"
             failures.append(RunFailure.from_exception(
                 exc, stage=stage,
@@ -1014,12 +1056,24 @@ def run_spec(spec, hooks: PipelineHooks | None = None,
         if spec.cache_dir is not None:
             save_tile_cache(tile_cache, spec.cache_dir)
 
+    METRICS.inc("repro_runs_total", status=status)
+    if ctx is not None:
+        for stage_name, seconds in ctx.stage_seconds.items():
+            METRICS.observe("repro_stage_seconds", seconds,
+                            stage=stage_name)
+        if ctx.rounds:
+            METRICS.inc("repro_rounds_total", value=len(ctx.rounds))
+
+    profile_data = profiler.result() if profiler is not None else None
+    if tracer is not None and profile_data is not None:
+        tracer.extras["profile"] = profile_data
+
     failure_dicts = [f.to_dict() for f in failures]
     if ctx is not None:
         result = RunResult.from_context(
             ctx, wall_seconds=wall, cache=cache_delta, status=status,
             failures=failure_dicts, degradations=degradations,
-            attempts=attempt,
+            attempts=attempt, profile=profile_data,
         )
     else:
         # the run never materialized a context (design build / strategy
@@ -1030,6 +1084,7 @@ def run_spec(spec, hooks: PipelineHooks | None = None,
             design=spec.design_label, strategy=spec.strategy,
             engine=spec.engine, error_kind=spec.error_kind,
             wall_seconds=round(wall, 6), cache=cache_delta,
+            profile=profile_data,
         )
     if return_context:
         return result, ctx

@@ -87,6 +87,9 @@ class RunResult:
     effort: dict = field(default_factory=dict)
     #: tile-cache counter delta over this run (None when cache is off)
     cache: dict | None = None
+    #: per-stage cProfile top-N aggregation (``--profile`` runs only;
+    #: :meth:`repro.obs.StageProfiler.result` form)
+    profile: dict | None = None
     notes: list = field(default_factory=list)
     wall_seconds: float = 0.0
 
@@ -97,7 +100,8 @@ class RunResult:
                      cache: dict | None = None, status: str = "ok",
                      failures: list | None = None,
                      degradations: list | None = None,
-                     attempts: int = 1) -> "RunResult":
+                     attempts: int = 1,
+                     profile: dict | None = None) -> "RunResult":
         """Package a finished :class:`~repro.api.pipeline.RunContext`.
 
         ``status``/``failures``/``degradations``/``attempts`` carry the
@@ -186,6 +190,7 @@ class RunResult:
                 "debug": ctx.strategy.total_effort.snapshot(),
             },
             cache=cache,
+            profile=profile,
             notes=list(ctx.notes),
             wall_seconds=round(wall_seconds, 6),
         )

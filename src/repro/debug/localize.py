@@ -57,6 +57,8 @@ from repro.errors import DebugFlowError
 from repro.netlist.cones import ConeIndex, cone_index_for
 from repro.netlist.core import Netlist, port_name
 from repro.netlist.simulate import initial_state, make_engine
+from repro.obs.metrics import METRICS
+from repro.obs.trace import maybe_span
 from repro.resilience.budget import check_deadline
 
 
@@ -323,38 +325,49 @@ class ConeLocalizer:
                 break
             probe_net = netlist.instance(probe).output.name
 
-            t0 = time.perf_counter()
-            changes, _ = add_observation_point(
-                netlist, [probe_net], f"loc{probe_no}", sticky=False
-            )
-            self.strategy.commit(changes, anchor_instance=probe)
-            timings["commit"] += time.perf_counter() - t0
-            result.probe_points.append(f"loc{probe_no}")
-
-            t0 = time.perf_counter()
-            if emulator is None:
-                emulator = Emulator(self.strategy.layout, engine=self.engine)
-                if self.engine == "compiled":
-                    # sync the shared kernel incrementally rather than
-                    # letting first use pay a full recompile
-                    emulator.refresh(changes=changes)
-            else:
-                emulator.refresh(
-                    layout=self.strategy.layout, changes=changes
+            with maybe_span("probe", category="localize",
+                            probe=probe) as probe_span:
+                t0 = time.perf_counter()
+                changes, _ = add_observation_point(
+                    netlist, [probe_net], f"loc{probe_no}", sticky=False
                 )
-            mismatch = self._probe_disagrees(
-                emulator, probe_net, f"loc{probe_no}"
-            )
-            timings["emulate"] += time.perf_counter() - t0
+                self.strategy.commit(changes, anchor_instance=probe)
+                timings["commit"] += time.perf_counter() - t0
+                result.probe_points.append(f"loc{probe_no}")
 
-            if not mismatch:
-                matched_probes.append(probe_net)
-            ops.apply_verdict(probe, mismatch)
-            after = ops.count()
-            step = ProbeStep(probe, mismatch, before, after)
-            result.steps.append(step)
-            if on_probe is not None:
-                on_probe(step)
+                t0 = time.perf_counter()
+                if emulator is None:
+                    emulator = Emulator(
+                        self.strategy.layout, engine=self.engine
+                    )
+                    if self.engine == "compiled":
+                        # sync the shared kernel incrementally rather
+                        # than letting first use pay a full recompile
+                        emulator.refresh(changes=changes)
+                else:
+                    emulator.refresh(
+                        layout=self.strategy.layout, changes=changes
+                    )
+                mismatch = self._probe_disagrees(
+                    emulator, probe_net, f"loc{probe_no}"
+                )
+                timings["emulate"] += time.perf_counter() - t0
+
+                if not mismatch:
+                    matched_probes.append(probe_net)
+                ops.apply_verdict(probe, mismatch)
+                after = ops.count()
+                step = ProbeStep(probe, mismatch, before, after)
+                result.steps.append(step)
+                METRICS.inc("repro_probes_total")
+                if probe_span is not None:
+                    probe_span.attrs.update(
+                        mismatch=bool(mismatch),
+                        candidates_before=before,
+                        candidates_after=after,
+                    )
+                if on_probe is not None:
+                    on_probe(step)
             if after == 0:
                 if not self.tolerate_drain:
                     raise DebugFlowError(

@@ -1,0 +1,53 @@
+"""``repro.obs`` — dependency-free observability for the debug stack.
+
+Three cooperating pieces, all standard-library only:
+
+* :mod:`repro.obs.trace` — structured tracing: nested spans
+  (run → stage → round → probe/commit/SAT-solve/CEGIS-iteration)
+  exportable as Chrome ``trace_event`` JSON or a rendered span tree;
+* :mod:`repro.obs.metrics` — the process-wide
+  :data:`~repro.obs.metrics.METRICS` registry of labeled
+  counters/gauges/histograms with snapshot/merge/delta movement and
+  Prometheus text exposition;
+* :mod:`repro.obs.profile` — opt-in per-stage cProfile aggregation
+  landing in ``RunResult.profile``.
+
+Everything is zero-cost when disarmed: tracing checks one
+thread-local, profiling is opt-in, and metrics increment only at
+coarse pipeline events.
+"""
+
+from repro.obs.metrics import METRICS, Histogram, MetricsRegistry
+from repro.obs.profile import ProfilingHooks, StageProfiler
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    TracingHooks,
+    active_tracer,
+    maybe_instant,
+    maybe_set_attrs,
+    maybe_span,
+    render_chrome_tree,
+    render_span_tree,
+    set_active_tracer,
+    tracer_scope,
+)
+
+__all__ = [
+    "METRICS",
+    "Histogram",
+    "MetricsRegistry",
+    "ProfilingHooks",
+    "Span",
+    "StageProfiler",
+    "Tracer",
+    "TracingHooks",
+    "active_tracer",
+    "maybe_instant",
+    "maybe_set_attrs",
+    "maybe_span",
+    "render_chrome_tree",
+    "render_span_tree",
+    "set_active_tracer",
+    "tracer_scope",
+]

@@ -1,0 +1,342 @@
+"""Process-wide metrics — counters, gauges, histograms with labels.
+
+A :class:`MetricsRegistry` holds labeled series behind one lock:
+counters (monotonic totals — runs by status, probes, SAT conflicts),
+gauges (last-write-wins — queue depth), and histograms (fixed log-ish
+buckets plus a bounded raw-sample tail for exact p50/p95/max).  The
+module-global :data:`METRICS` is the process's registry; increments
+happen at coarse grain only — per run, per solve, per probe, per
+commit — never inside hot loops, so the always-on cost is a few dict
+operations per pipeline event.
+
+Three movement operations make the registry composable across the
+campaign and service topologies:
+
+* :meth:`~MetricsRegistry.snapshot` — a JSON-able copy;
+* :meth:`~MetricsRegistry.merge` — fold a snapshot in (counters and
+  histograms add, gauges overwrite), used by the campaign parent for
+  process-mode workers and by the daemon for per-job worker deltas;
+* :meth:`~MetricsRegistry.delta` — what changed since an earlier
+  snapshot, used by service workers so a long-lived child never
+  double-ships its history.
+
+:meth:`~MetricsRegistry.to_prometheus` renders the whole registry in
+the Prometheus text exposition format for the daemon's
+``stats --metrics`` verb.  See the README "Observability" section for
+the metric name/label reference table.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["METRICS", "Histogram", "MetricsRegistry"]
+
+#: histogram bucket upper bounds (seconds-oriented, log-ish spacing)
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+#: raw samples retained per histogram series for exact quantiles
+MAX_SAMPLES = 4096
+
+
+def _labels_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+class Histogram:
+    """One labeled histogram series: buckets + bounded raw samples."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets", "samples")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self.buckets = [0] * (len(DEFAULT_BUCKETS) + 1)  # last = +Inf
+        self.samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(DEFAULT_BUCKETS):
+            if value <= bound:
+                self.buckets[i] += 1
+                break
+        else:
+            self.buckets[-1] += 1
+        if len(self.samples) < MAX_SAMPLES:
+            self.samples.append(value)
+
+    def quantile(self, q: float) -> float | None:
+        """Exact quantile over the retained sample tail."""
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        idx = min(len(ordered) - 1,
+                  max(0, int(round(q * (len(ordered) - 1)))))
+        return ordered[idx]
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": round(self.total, 9),
+            "min": self.min,
+            "max": self.max,
+            "buckets": list(self.buckets),
+            "samples": [round(s, 9) for s in self.samples],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        hist = cls()
+        hist.count = int(data.get("count", 0))
+        hist.total = float(data.get("sum", 0.0))
+        hist.min = data.get("min")
+        hist.max = data.get("max")
+        buckets = data.get("buckets") or []
+        for i, value in enumerate(buckets[: len(hist.buckets)]):
+            hist.buckets[i] = int(value)
+        hist.samples = [float(s) for s in (data.get("samples") or [])]
+        del hist.samples[MAX_SAMPLES:]
+        return hist
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None
+                                      or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None
+                                      or other.max > self.max):
+            self.max = other.max
+        for i, value in enumerate(other.buckets):
+            self.buckets[i] += value
+        room = MAX_SAMPLES - len(self.samples)
+        if room > 0:
+            self.samples.extend(other.samples[:room])
+
+
+class MetricsRegistry:
+    """Thread-safe labeled counters/gauges/histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, dict[tuple, float]] = {}
+        self._gauges: dict[str, dict[tuple, float]] = {}
+        self._histograms: dict[str, dict[tuple, Histogram]] = {}
+
+    # -- recording -----------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels) -> None:
+        key = _labels_key(labels)
+        with self._lock:
+            series = self._counters.setdefault(name, {})
+            series[key] = series.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        with self._lock:
+            self._gauges.setdefault(name, {})[_labels_key(labels)] = \
+                float(value)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        key = _labels_key(labels)
+        with self._lock:
+            series = self._histograms.setdefault(name, {})
+            hist = series.get(key)
+            if hist is None:
+                hist = series[key] = Histogram()
+            hist.observe(value)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # -- reading -------------------------------------------------------
+
+    def counter_value(self, name: str, **labels) -> float:
+        """Sum over series matching ``labels`` (subset match)."""
+        want = set(labels.items())
+        with self._lock:
+            series = self._counters.get(name, {})
+            return sum(v for key, v in series.items()
+                       if want.issubset(set(key)))
+
+    def gauge_value(self, name: str, **labels) -> float | None:
+        with self._lock:
+            return self._gauges.get(name, {}).get(_labels_key(labels))
+
+    def histogram(self, name: str, **labels) -> Histogram | None:
+        with self._lock:
+            return self._histograms.get(name, {}).get(_labels_key(labels))
+
+    # -- snapshot / merge / delta --------------------------------------
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "counters": [
+                    {"name": name, "labels": dict(key), "value": value}
+                    for name, series in sorted(self._counters.items())
+                    for key, value in sorted(series.items())
+                ],
+                "gauges": [
+                    {"name": name, "labels": dict(key), "value": value}
+                    for name, series in sorted(self._gauges.items())
+                    for key, value in sorted(series.items())
+                ],
+                "histograms": [
+                    {"name": name, "labels": dict(key),
+                     **hist.to_dict()}
+                    for name, series in sorted(self._histograms.items())
+                    for key, hist in sorted(series.items())
+                ],
+            }
+
+    def merge(self, snapshot: dict | None) -> None:
+        if not snapshot:
+            return
+        with self._lock:
+            for entry in snapshot.get("counters", []):
+                series = self._counters.setdefault(entry["name"], {})
+                key = _labels_key(entry.get("labels", {}))
+                series[key] = series.get(key, 0.0) + \
+                    float(entry.get("value", 0.0))
+            for entry in snapshot.get("gauges", []):
+                self._gauges.setdefault(entry["name"], {})[
+                    _labels_key(entry.get("labels", {}))
+                ] = float(entry.get("value", 0.0))
+            for entry in snapshot.get("histograms", []):
+                series = self._histograms.setdefault(entry["name"], {})
+                key = _labels_key(entry.get("labels", {}))
+                incoming = Histogram.from_dict(entry)
+                hist = series.get(key)
+                if hist is None:
+                    series[key] = incoming
+                else:
+                    hist.merge(incoming)
+
+    def delta(self, before: dict) -> dict:
+        """What changed since ``before`` (an earlier snapshot).
+
+        Counters and histogram totals subtract; gauges report their
+        current value; histogram sample tails keep only the entries
+        appended since the snapshot, so quantiles of a merged delta
+        reflect only the new observations.
+        """
+        current = self.snapshot()
+        prev_counters = {
+            (e["name"], _labels_key(e.get("labels", {}))):
+                float(e.get("value", 0.0))
+            for e in before.get("counters", [])
+        }
+        counters = []
+        for entry in current["counters"]:
+            key = (entry["name"], _labels_key(entry.get("labels", {})))
+            change = entry["value"] - prev_counters.get(key, 0.0)
+            if change:
+                counters.append({**entry, "value": change})
+        prev_hists = {
+            (e["name"], _labels_key(e.get("labels", {}))): e
+            for e in before.get("histograms", [])
+        }
+        histograms = []
+        for entry in current["histograms"]:
+            key = (entry["name"], _labels_key(entry.get("labels", {})))
+            prev = prev_hists.get(key)
+            if prev is None:
+                histograms.append(entry)
+                continue
+            count = entry["count"] - int(prev.get("count", 0))
+            if count <= 0:
+                continue
+            buckets = [b - p for b, p in
+                       zip(entry["buckets"], prev.get("buckets", []))]
+            n_prev_samples = len(prev.get("samples", []))
+            histograms.append({
+                "name": entry["name"], "labels": entry["labels"],
+                "count": count,
+                "sum": round(entry["sum"] - float(prev.get("sum", 0.0)),
+                             9),
+                "min": entry["min"], "max": entry["max"],
+                "buckets": buckets,
+                "samples": entry["samples"][n_prev_samples:],
+            })
+        return {
+            "counters": counters,
+            "gauges": current["gauges"],
+            "histograms": histograms,
+        }
+
+    # -- exposition ----------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format."""
+
+        def fmt_labels(key: tuple, extra: dict | None = None) -> str:
+            pairs = list(key) + sorted((extra or {}).items())
+            if not pairs:
+                return ""
+            body = ",".join(
+                f'{k}="{_escape(str(v))}"' for k, v in pairs
+            )
+            return "{" + body + "}"
+
+        def _escape(value: str) -> str:
+            return value.replace("\\", "\\\\").replace('"', '\\"') \
+                        .replace("\n", "\\n")
+
+        lines: list[str] = []
+        with self._lock:
+            for name, series in sorted(self._counters.items()):
+                lines.append(f"# TYPE {name} counter")
+                for key, value in sorted(series.items()):
+                    lines.append(f"{name}{fmt_labels(key)} {_num(value)}")
+            for name, series in sorted(self._gauges.items()):
+                lines.append(f"# TYPE {name} gauge")
+                for key, value in sorted(series.items()):
+                    lines.append(f"{name}{fmt_labels(key)} {_num(value)}")
+            for name, series in sorted(self._histograms.items()):
+                lines.append(f"# TYPE {name} histogram")
+                for key, hist in sorted(series.items()):
+                    running = 0
+                    for bound, count in zip(DEFAULT_BUCKETS,
+                                            hist.buckets):
+                        running += count
+                        lines.append(
+                            f"{name}_bucket"
+                            f"{fmt_labels(key, {'le': _num(bound)})} "
+                            f"{running}"
+                        )
+                    lines.append(
+                        f"{name}_bucket{fmt_labels(key, {'le': '+Inf'})}"
+                        f" {hist.count}"
+                    )
+                    lines.append(
+                        f"{name}_sum{fmt_labels(key)} {_num(hist.total)}"
+                    )
+                    lines.append(
+                        f"{name}_count{fmt_labels(key)} {hist.count}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+def _num(value: float) -> str:
+    as_float = float(value)
+    if as_float.is_integer():
+        return str(int(as_float))
+    return repr(round(as_float, 9))
+
+
+#: the process's registry — the pipeline, campaign runner, and service
+#: daemon all record here; child processes ship snapshots/deltas back
+METRICS = MetricsRegistry()

@@ -1,0 +1,122 @@
+"""Opt-in per-stage profiling for the debug pipeline.
+
+:class:`StageProfiler` scopes a :class:`cProfile.Profile` to each
+pipeline stage, driven by the same ``PipelineHooks`` boundary events
+tracing uses (:class:`ProfilingHooks`).  Composite stages nest — the
+diagnose loop wraps localize/correct — and CPython allows only one
+active profiler, so the profiler keeps a stack: entering an inner
+stage suspends the outer profile and resumes it on the way out.  A
+stage's numbers therefore *exclude* its children, which is the useful
+attribution (the diagnose row shows loop overhead, not localize's
+work).
+
+Per-function self/cumulative times are folded across rounds by
+function identity, and :meth:`StageProfiler.result` returns the top-N
+rows per stage — the dict that lands in ``RunResult.profile`` and in
+the trace file's ``otherData``.
+
+Caveats (also in the README): cProfile is deterministic, not
+sampling — expect tens of percent overhead on call-dense stages, so
+never combine ``--profile`` with performance measurements; child
+processes (campaign process executor, service workers) profile only
+their own pipeline work.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+
+__all__ = ["ProfilingHooks", "StageProfiler"]
+
+#: rows retained per stage in the aggregated result
+TOP_N = 15
+
+
+class StageProfiler:
+    """Per-stage cProfile aggregation across rounds."""
+
+    def __init__(self, top_n: int = TOP_N) -> None:
+        self.top_n = top_n
+        self._stack: list[tuple[str, cProfile.Profile]] = []
+        # stage -> func -> [ncalls, tottime, cumtime]
+        self._stats: dict[str, dict[str, list]] = {}
+
+    def start(self, stage_name: str) -> None:
+        if self._stack:
+            self._stack[-1][1].disable()
+        profile = cProfile.Profile()
+        self._stack.append((stage_name, profile))
+        profile.enable()
+
+    def stop(self, stage_name: str) -> None:
+        while self._stack:
+            name, profile = self._stack.pop()
+            profile.disable()
+            self._fold(name, profile)
+            if name == stage_name:
+                break
+        if self._stack:
+            self._stack[-1][1].enable()
+
+    def _fold(self, stage_name: str, profile: cProfile.Profile) -> None:
+        stats = pstats.Stats(profile)
+        into = self._stats.setdefault(stage_name, {})
+        for (filename, lineno, func), row in stats.stats.items():
+            _cc, ncalls, tottime, cumtime, _callers = row
+            key = f"{filename}:{lineno}:{func}"
+            agg = into.get(key)
+            if agg is None:
+                into[key] = [ncalls, tottime, cumtime]
+            else:
+                agg[0] += ncalls
+                agg[1] += tottime
+                agg[2] += cumtime
+
+    def result(self) -> dict:
+        """Top-N per stage by self time, JSON-able."""
+        stages = {}
+        for stage_name, funcs in self._stats.items():
+            top = sorted(funcs.items(),
+                         key=lambda item: -item[1][1])[: self.top_n]
+            stages[stage_name] = [
+                {
+                    "func": key,
+                    "ncalls": int(values[0]),
+                    "tottime_s": round(values[1], 6),
+                    "cumtime_s": round(values[2], 6),
+                }
+                for key, values in top
+            ]
+        return {"profiler": "cProfile", "stages": stages}
+
+
+class ProfilingHooks:
+    """``PipelineHooks`` duck-type scoping the profiler per stage.
+
+    The profiler starts after delegating ``on_stage_start`` and stops
+    before delegating ``on_stage_end``, so inner-hook work never
+    pollutes a stage's profile.
+    """
+
+    def __init__(self, profiler: StageProfiler, inner=None) -> None:
+        self.profiler = profiler
+        self.inner = inner
+
+    def on_stage_start(self, stage, ctx) -> None:
+        if self.inner is not None:
+            self.inner.on_stage_start(stage, ctx)
+        self.profiler.start(stage.name)
+
+    def on_stage_end(self, stage, ctx, seconds: float) -> None:
+        self.profiler.stop(stage.name)
+        if self.inner is not None:
+            self.inner.on_stage_end(stage, ctx, seconds)
+
+    def on_probe(self, ctx, step) -> None:
+        if self.inner is not None:
+            self.inner.on_probe(ctx, step)
+
+    def on_commit(self, ctx, record) -> None:
+        if self.inner is not None:
+            self.inner.on_commit(ctx, record)

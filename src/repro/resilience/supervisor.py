@@ -39,6 +39,7 @@ from collections import deque
 
 from repro.api.result import RunResult
 from repro.api.spec import RunSpec
+from repro.obs.metrics import METRICS
 from repro.resilience.chaos import WORKER_ENV
 from repro.resilience.failure import WORKER_STAGE, RunFailure
 
@@ -112,6 +113,8 @@ class _ChildState:
         self.last_event = time.monotonic()
         self.result: dict | None = None
         self.error: dict | None = None
+        #: the child's metrics snapshot, shipped with the result event
+        self.metrics: dict | None = None
         self.stderr_tail: deque = deque(maxlen=_STDERR_TAIL_LINES)
 
     def touch(self) -> None:
@@ -140,6 +143,7 @@ def _read_events(stream, state: _ChildState) -> None:
         if kind == "result":
             with state.lock:
                 state.result = event.get("result")
+                state.metrics = event.get("metrics")
         elif kind == "error":
             with state.lock:
                 state.error = event.get("failure")
@@ -262,6 +266,11 @@ def run_supervised(
     with state.lock:
         result_dict = state.result
         error_dict = state.error
+        child_metrics = state.metrics
+    if child_metrics is not None:
+        # fold the child's whole-process snapshot into this process's
+        # registry — each child is fresh, so snapshots never double-count
+        METRICS.merge(child_metrics)
     if result_dict is not None:
         try:
             return RunResult.from_dict(result_dict)
@@ -369,7 +378,13 @@ def worker_main() -> int:
         }, lock)
         return 1
     stop.set()
-    _emit({"event": "result", "result": result.to_dict()}, lock)
+    _emit({
+        "event": "result",
+        "result": result.to_dict(),
+        # the run's metrics ride the result event so the campaign
+        # parent can merge process-mode workers into its own registry
+        "metrics": METRICS.snapshot(),
+    }, lock)
     return 0
 
 

@@ -40,6 +40,8 @@ from dataclasses import dataclass, field
 from repro.debug.detect import Mismatch, compare_runs
 from repro.netlist.cells import CellKind
 from repro.netlist.core import Netlist, port_name
+from repro.obs.metrics import METRICS
+from repro.obs.trace import maybe_span
 from repro.resilience.budget import check_deadline
 from repro.rng import derive_seed
 from repro.sat.cnf import CNF, GateBuilder, SatError
@@ -174,36 +176,41 @@ def synthesize_tables(
     while result.iterations < max_iterations:
         check_deadline("cegis.iteration")
         result.iterations += 1
-        if not solver.solve():
-            break  # no table assignment is consistent with the evidence
-        tables = []
-        for inst in insts:
-            table = 0
-            for m, var in enumerate(table_map[inst.name]):
-                if solver.lit_true(var):
-                    table |= 1 << m
-            tables.append(table)
-        for scratch_inst, table in zip(scratch_insts, tables):
-            scratch.set_params(scratch_inst, {"table": table})
-        remaining = _check_against_golden(
-            scratch, golden_out, stimulus, n_patterns, engine, ignore
-        )
-        if not remaining:
-            result.table = tables[0]
-            result.tables = tables
-            break
-        cycle, output, pattern = _first_failure(remaining)
-        result.counterexamples.append((cycle, output, pattern))
-        add_counterexample(cycle, pattern)
-        # block the exact failed joint assignment: progress even when
-        # the new counterexample window happens not to constrain it
-        blocked = []
-        for inst, table in zip(insts, tables):
-            blocked.extend(
-                -var if (table >> m) & 1 else var
-                for m, var in enumerate(table_map[inst.name])
+        METRICS.inc("repro_cegis_iterations_total")
+        with maybe_span("cegis_iter", category="sat",
+                        iteration=result.iterations,
+                        n_counterexamples=len(result.counterexamples)):
+            if not solver.solve():
+                break  # no table assignment consistent with the evidence
+            tables = []
+            for inst in insts:
+                table = 0
+                for m, var in enumerate(table_map[inst.name]):
+                    if solver.lit_true(var):
+                        table |= 1 << m
+                tables.append(table)
+            for scratch_inst, table in zip(scratch_insts, tables):
+                scratch.set_params(scratch_inst, {"table": table})
+            remaining = _check_against_golden(
+                scratch, golden_out, stimulus, n_patterns, engine, ignore
             )
-        gb.cnf.add_clause(blocked)
+            if not remaining:
+                result.table = tables[0]
+                result.tables = tables
+                break
+            cycle, output, pattern = _first_failure(remaining)
+            result.counterexamples.append((cycle, output, pattern))
+            add_counterexample(cycle, pattern)
+            # block the exact failed joint assignment: progress even
+            # when the new counterexample window happens not to
+            # constrain it
+            blocked = []
+            for inst, table in zip(insts, tables):
+                blocked.extend(
+                    -var if (table >> m) & 1 else var
+                    for m, var in enumerate(table_map[inst.name])
+                )
+            gb.cnf.add_clause(blocked)
     result.solver_stats = solver.stats.snapshot()
     return result
 

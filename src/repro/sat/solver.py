@@ -33,6 +33,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import METRICS
+from repro.obs.trace import maybe_span
 from repro.resilience.budget import check_deadline
 from repro.rng import make_rng
 from repro.sat.cnf import CNF, SatError
@@ -132,7 +134,43 @@ class Solver:
         On True, :meth:`value` reads the model.  On False with empty
         assumptions the formula itself is unsat and :attr:`ok` goes
         False; under assumptions, only this hypothesis is refuted.
+
+        Each call is one ``sat_solve`` trace span and one fold of the
+        per-solve :class:`SolverStats` delta into the process metrics
+        (never per-propagation — search loops stay untouched).
         """
+        assumptions = tuple(assumptions)
+        before = (self.stats.conflicts, self.stats.propagations,
+                  self.stats.decisions, self.stats.learned,
+                  self.stats.restarts)
+        with maybe_span("sat_solve", category="sat",
+                        n_vars=self._n_vars,
+                        n_assumptions=len(assumptions)) as span:
+            sat = self._solve(assumptions)
+            conflicts = self.stats.conflicts - before[0]
+            propagations = self.stats.propagations - before[1]
+            decisions = self.stats.decisions - before[2]
+            learned = self.stats.learned - before[3]
+            restarts = self.stats.restarts - before[4]
+            METRICS.inc("repro_sat_solves_total")
+            if conflicts:
+                METRICS.inc("repro_sat_conflicts_total", conflicts)
+            if propagations:
+                METRICS.inc("repro_sat_propagations_total", propagations)
+            if decisions:
+                METRICS.inc("repro_sat_decisions_total", decisions)
+            if learned:
+                METRICS.inc("repro_sat_learned_total", learned)
+            if restarts:
+                METRICS.inc("repro_sat_restarts_total", restarts)
+            if span is not None:
+                span.attrs.update(
+                    sat=sat, conflicts=conflicts,
+                    propagations=propagations, learned=learned,
+                )
+        return sat
+
+    def _solve(self, assumptions=()) -> bool:
         self._sync()
         self._model = None
         self.stats.solves += 1

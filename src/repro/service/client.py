@@ -61,14 +61,22 @@ class Client:
     def ping(self) -> dict:
         return self.request({"verb": "ping"})
 
-    def submit(self, spec, priority: int = 0,
-               fresh: bool = False) -> dict:
-        """Submit one spec (a RunSpec or its dict); returns the job."""
+    def submit(self, spec, priority: int = 0, fresh: bool = False,
+               trace: bool = False) -> dict:
+        """Submit one spec (a RunSpec or its dict); returns the job.
+
+        ``trace=True`` arms a tracer in the worker for this job, so
+        the ``events`` stream carries ``span_start``/``span_end``
+        lines alongside the stage/probe/commit events.
+        """
         spec_dict = spec.to_dict() if hasattr(spec, "to_dict") else spec
-        return self.request({
+        payload = {
             "verb": "submit", "spec": spec_dict,
             "priority": priority, "fresh": fresh,
-        })
+        }
+        if trace:
+            payload["trace"] = True
+        return self.request(payload)
 
     def submit_batch(self, base, priority: int = 0, fresh: bool = False,
                      **axes) -> dict:
@@ -98,8 +106,13 @@ class Client:
             payload["timeout_s"] = timeout_s
         return self.request(payload)
 
-    def stats(self) -> dict:
-        return self.request({"verb": "stats"})
+    def stats(self, metrics: bool = False) -> dict:
+        """Daemon stats; ``metrics=True`` adds ``metrics_text`` —
+        the process-wide registry in Prometheus exposition format."""
+        payload: dict = {"verb": "stats"}
+        if metrics:
+            payload["metrics"] = True
+        return self.request(payload)
 
     def shutdown(self) -> dict:
         return self.request({"verb": "shutdown"})

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from repro.api.result import RunResult
 from repro.api.spec import RunSpec
 from repro.errors import ReproError
+from repro.obs.metrics import METRICS
 from repro.resilience.failure import WORKER_STAGE, RunFailure
 from repro.resilience.supervisor import (
     DEFAULT_HEARTBEAT_TIMEOUT_S,
@@ -126,7 +127,7 @@ class WorkerHandle:
             env=worker_env(),
             text=True,
         )
-        self.started_at = time.time()
+        self.started_at = time.monotonic()  # uptime is a duration
         self.last_event = time.monotonic()
         threading.Thread(target=self._read_events, daemon=True).start()
         threading.Thread(target=self._read_stderr, daemon=True).start()
@@ -204,7 +205,9 @@ class WorkerHandle:
         return time.monotonic() - self.last_event
 
     def uptime_s(self) -> float:
-        return time.time() - self.started_at if self.started_at else 0.0
+        if self.started_at is None:
+            return 0.0
+        return time.monotonic() - self.started_at
 
     def stats(self) -> dict:
         return {
@@ -230,7 +233,8 @@ class ReproService:
         self._stopping = threading.Event()
         self._server: socketserver.ThreadingUnixStreamServer | None = None
         self._server_thread: threading.Thread | None = None
-        self.started_at = time.time()
+        self.started_at = time.time()  # wall clock, display only
+        self._started_mono = time.monotonic()  # uptime is a duration
 
     # -- lifecycle -----------------------------------------------------
 
@@ -321,6 +325,7 @@ class ReproService:
 
     def _respawn(self, handle: WorkerHandle) -> None:
         handle.deaths += 1
+        METRICS.inc("repro_worker_restarts_total")
         handle.kill()
         if not self._stopping.is_set():
             handle.spawn()
@@ -346,6 +351,7 @@ class ReproService:
             "job": job.digest,
             "spec": job.spec.to_dict(),
             "attempt": job.attempts,
+            "trace": job.trace,
         })
         t0 = time.perf_counter()
         ceiling = hard_timeout_for(job.spec, self.config.hard_timeout_s)
@@ -397,8 +403,15 @@ class ReproService:
         if failure is None and event is not None:
             if event.get("event") == "result":
                 handle.jobs_done += 1
-                self.queue.finish(job, event.get("result") or {},
-                                  warm=event.get("warm"))
+                result = event.get("result") or {}
+                # fold the worker's per-job metrics delta into the
+                # daemon's registry — deltas never double-count
+                metrics = event.get("metrics")
+                if metrics is not None:
+                    METRICS.merge(metrics)
+                METRICS.inc("repro_service_jobs_total",
+                            status=result.get("status") or "unknown")
+                self.queue.finish(job, result, warm=event.get("warm"))
                 return
             # job_error: the worker survived but the job blew up at the
             # protocol level — settle as failed, keep the worker
@@ -463,6 +476,7 @@ class ReproService:
         if len(job.death_failures) > 1:
             # every death this job caused, oldest first
             result["failures"] = list(job.death_failures)
+        METRICS.inc("repro_service_jobs_total", status=status)
         self.queue.finish(job, result)
 
     # -- request handling ----------------------------------------------
@@ -499,7 +513,10 @@ class ReproService:
         if verb == "result":
             return self._result(request)
         if verb == "stats":
-            return protocol.ok_response(**self.stats())
+            payload = self.stats()
+            if request.get("metrics"):
+                payload["metrics_text"] = self.metrics_text()
+            return protocol.ok_response(**payload)
         if verb == "shutdown":
             threading.Thread(target=self.stop, daemon=True).start()
             return protocol.ok_response(stopping=True)
@@ -514,6 +531,7 @@ class ReproService:
             spec,
             priority=int(request.get("priority", 0)),
             fresh=bool(request.get("fresh", False)),
+            trace=bool(request.get("trace", False)),
         )
         return protocol.ok_response(deduped=deduped, **job.descriptor())
 
@@ -606,13 +624,28 @@ class ReproService:
         warm = [w for w in (h.stats() for h in self.workers)]
         return {
             "pid": os.getpid(),
-            "uptime_s": round(time.time() - self.started_at, 3),
+            "uptime_s": round(time.monotonic() - self._started_mono, 3),
             "queue": self.queue.stats(),
             "workers": warm,
             "socket": self.config.socket_path,
             "cache_dir": self.config.cache_dir,
             "spool_dir": self.config.spool_dir,
         }
+
+    def metrics_text(self) -> str:
+        """The daemon's registry in Prometheus text exposition format.
+
+        Point-in-time gauges (queue depth, live workers) are refreshed
+        on every scrape; counters and the merged per-job deltas from
+        workers accumulate between scrapes.
+        """
+        queue_stats = self.queue.stats()
+        METRICS.set_gauge("repro_queue_depth", queue_stats["queued"])
+        METRICS.set_gauge(
+            "repro_service_workers",
+            sum(1 for h in self.workers if h.alive()),
+        )
+        return METRICS.to_prometheus()
 
 
 def serve(config: ServiceConfig) -> int:

@@ -17,8 +17,9 @@ verb      payload / response
 ========  ============================================================
 ping      → ``{"ok": true, "pid": ...}``
 submit    ``spec`` (RunSpec dict), optional ``priority`` (higher runs
-          first), ``fresh`` (re-run even if a result exists) →
-          job descriptor
+          first), ``fresh`` (re-run even if a result exists),
+          ``trace`` (stream ``span_start``/``span_end`` lines over
+          ``events``) → job descriptor
 submit-batch  ``base`` spec dict + campaign axes (``designs``,
           ``strategies``, ``engines``, ``error_kinds``,
           ``error_seeds``, ``seeds``, ``n_errors``) expanded
@@ -26,7 +27,9 @@ submit-batch  ``base`` spec dict + campaign axes (``designs``,
 status    ``job`` digest (omit for all jobs) → job descriptor(s)
 result    ``job`` digest → final RunResult dict (error if unfinished)
 events    ``job`` digest → JSONL event stream, ``done`` sentinel last
-stats     → queue depth, warm hit rates, per-worker uptime
+stats     optional ``metrics`` → queue depth, warm hit rates,
+          per-worker uptime; with ``metrics`` also ``metrics_text``,
+          the merged registry in Prometheus text exposition format
 shutdown  → ``{"ok": true}``, then the daemon drains and exits
 ========  ============================================================
 

@@ -44,11 +44,12 @@ class Job:
     """One unit of service work: a spec, its state, and its artifacts."""
 
     def __init__(self, spec: RunSpec, priority: int = 0,
-                 seq: int = 0) -> None:
+                 seq: int = 0, trace: bool = False) -> None:
         self.digest = spec.digest()
         self.spec = spec
         self.priority = priority
         self.seq = seq
+        self.trace = trace
         self.state = QUEUED
         self.attempts = 0
         self.result: dict | None = None
@@ -155,7 +156,8 @@ class JobQueue:
     # -- submission ----------------------------------------------------
 
     def submit(self, spec: RunSpec, priority: int = 0,
-               fresh: bool = False) -> tuple[Job, bool]:
+               fresh: bool = False,
+               trace: bool = False) -> tuple[Job, bool]:
         """Accept one spec; returns ``(job, deduped)``.
 
         An existing queued/running job for the same digest always wins
@@ -169,6 +171,7 @@ class JobQueue:
                 if job.state == DONE and fresh:
                     job.state = QUEUED
                     job.priority = priority
+                    job.trace = trace
                     job.result = None
                     job.warm = None
                     job.worker = None
@@ -180,7 +183,8 @@ class JobQueue:
                     self._push(job)
                     return job, False
                 return job, True
-            job = Job(spec, priority=priority, seq=self._seq)
+            job = Job(spec, priority=priority, seq=self._seq,
+                      trace=trace)
             self._seq += 1
             self._jobs[job.digest] = job
             self._spool(job)

@@ -48,6 +48,7 @@ import json
 from collections import OrderedDict
 
 from repro.netlist.cones import ConeMemo
+from repro.obs.metrics import METRICS
 from repro.tiling.cache import (
     TileConfigCache,
     TileConfigStore,
@@ -182,15 +183,18 @@ class WarmRegistry:
         if entry is not None:
             self._entries.move_to_end(key)
             self.hits += 1
+            METRICS.inc("repro_warm_registry_hits_total")
             entry.uses += 1
             return entry, True
         self.misses += 1
+        METRICS.inc("repro_warm_registry_misses_total")
         entry = self._build_entry(spec)
         entry.uses += 1
         self._entries[key] = entry
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.evictions += 1
+            METRICS.inc("repro_warm_registry_evictions_total")
         return entry, False
 
     def would_hit(self, spec) -> bool:

@@ -36,6 +36,8 @@ import threading
 import time
 
 from repro.api.spec import RunSpec
+from repro.obs.metrics import METRICS
+from repro.obs.trace import Tracer
 from repro.resilience.failure import WORKER_STAGE, RunFailure
 from repro.resilience.supervisor import (
     HEARTBEAT_INTERVAL_S,
@@ -107,6 +109,27 @@ class _EventHooks:
             if effort is not None else None,
         })
 
+    def span_listener(self, phase: str, span) -> None:
+        """Tracer listener → ``span_start``/``span_end`` event lines.
+
+        Zero-duration instants (commits, cache points) arrive as
+        ``span_point``.  Rides the same per-job stream the stage
+        events use, so a ``trace: true`` submit sees the full span
+        hierarchy live through the daemon's ``events`` verb.
+        """
+        kind = {"start": "span_start", "instant": "span_point"}
+        payload = {
+            "event": kind.get(phase, "span_end"),
+            "name": span.name,
+            "category": span.category,
+        }
+        if phase != "start":
+            payload["status"] = span.status
+            payload["seconds"] = round(span.duration_s, 6)
+            if span.attrs:
+                payload["attrs"] = dict(span.attrs)
+        self._send(payload)
+
 
 def serve_jobs(stdin=None) -> int:
     """The worker loop: init line, ``ready``, then jobs until EOF."""
@@ -145,7 +168,7 @@ def serve_jobs(stdin=None) -> int:
         target=heartbeat_loop, args=(lock, stop, interval_s), daemon=True
     )
     beat.start()
-    started = time.time()
+    started = time.perf_counter()  # monotonic: uptime is a duration
     emit_event({"event": "ready", "pid": os.getpid()}, lock)
 
     for line in stdin:
@@ -166,12 +189,18 @@ def serve_jobs(stdin=None) -> int:
             current = effective_spec(spec, attempt)
             was_warm = registry.would_hit(current)
             hooks = _EventHooks(job_id, lock)
+            tracer = (
+                Tracer(listener=hooks.span_listener)
+                if request.get("trace") else None
+            )
+            metrics_before = METRICS.snapshot()
             t0 = time.perf_counter()
             result = run_spec(
                 current,
                 hooks=hooks,
                 tile_cache=registry.cache_for(current),
                 warm=registry,
+                tracer=tracer,
             )
             written = registry.write_back()
             emit_event({
@@ -184,6 +213,10 @@ def serve_jobs(stdin=None) -> int:
                     "service_seconds": round(time.perf_counter() - t0, 6),
                     "configs_written": written,
                 },
+                # per-job *delta*, not a whole-process snapshot: the
+                # worker is long-lived, so shipping totals would double-
+                # count every earlier job when the daemon merges
+                "metrics": METRICS.delta(metrics_before),
             }, lock)
         except BaseException as exc:  # noqa: BLE001
             if isinstance(exc, KeyboardInterrupt):
@@ -198,7 +231,7 @@ def serve_jobs(stdin=None) -> int:
     stop.set()
     emit_event({
         "event": "bye",
-        "uptime_s": round(time.time() - started, 3),
+        "uptime_s": round(time.perf_counter() - started, 3),
         "warm": registry.stats(),
     }, lock)
     return 0

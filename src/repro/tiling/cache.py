@@ -45,6 +45,8 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import METRICS
+
 try:  # advisory locking is POSIX-only; the store degrades gracefully
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX platforms
@@ -111,10 +113,14 @@ class TileConfigCache:
             config = self._entries.get(key)
             if config is None:
                 self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return config
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        if config is None:
+            METRICS.inc("repro_commit_cache_misses_total")
+            return None
+        METRICS.inc("repro_commit_cache_hits_total")
+        return config
 
     def store(self, key: str, config: TileConfig) -> None:
         with self._lock:

@@ -386,3 +386,61 @@ def test_report_accepts_a_directory_of_results(tmp_path, capsys):
     assert "process executor, 3 workers" in out
     assert "3 results" in out and "across 3 files" in out
     assert out.count("9sym") == 3
+
+
+def test_daemon_forwards_spans_when_traced_and_serves_metrics(tmp_path):
+    """`submit trace:true` streams span lines; `stats metrics` exposes
+    the merged per-job metric deltas in Prometheus text format."""
+    from repro.obs.metrics import METRICS
+
+    spec = RunSpec(**FAST)
+    # the daemon's registry is this process's METRICS; earlier tests
+    # may have written to it, so assert on the delta, not absolutes
+    before = METRICS.snapshot()
+    with service(tmp_path) as (svc, client):
+        plain = client.run(spec)
+        assert plain["result"]["status"] == "ok"
+        plain_kinds = {e.get("event")
+                       for e in client.events(plain["job"])}
+        assert "span_start" not in plain_kinds  # untraced job: no spans
+
+        traced = client.submit(spec, fresh=True, trace=True)
+        client.wait(traced["job"])
+        events = list(client.events(traced["job"]))
+        starts = [e for e in events if e.get("event") == "span_start"]
+        ends = [e for e in events if e.get("event") == "span_end"]
+        names = {e["name"] for e in starts}
+        assert {"run", "detect", "diagnose", "round", "localize",
+                "verify"} <= names
+        assert len(starts) == len(ends)
+        run_end = next(e for e in ends if e["name"] == "run")
+        assert run_end["status"] == "ok"
+        assert run_end["seconds"] > 0
+        assert run_end["attrs"]["rounds"] == 1
+
+        stats = client.stats(metrics=True)
+        text = stats["metrics_text"]
+        assert text.endswith("\n")
+        for line in text.strip().splitlines():
+            assert line.startswith("#") or " " in line, line
+        for name in ("repro_runs_total", "repro_probes_total",
+                     "repro_service_jobs_total",
+                     "repro_warm_registry_hits_total",
+                     "repro_queue_depth", "repro_stage_seconds_bucket"):
+            assert any(line.startswith(name)
+                       for line in text.splitlines()), name
+        # worker per-job deltas merged into the daemon registry:
+        # exactly these two jobs' worth of counters landed
+        grew = {
+            (c["name"], tuple(sorted(c["labels"].items()))): c["value"]
+            for c in METRICS.delta(before)["counters"]
+        }
+        assert grew[("repro_runs_total", (("status", "ok"),))] == 2.0
+        assert grew[
+            ("repro_service_jobs_total", (("status", "ok"),))
+        ] == 2.0
+        assert grew[("repro_probes_total", ())] > 0
+        # the fresh re-submit hit the worker's warm registry
+        assert grew[("repro_warm_registry_hits_total", ())] == 1.0
+        # a plain stats answer has no exposition payload
+        assert "metrics_text" not in client.stats()
