@@ -351,8 +351,17 @@ def cmd_cache_verify(args: argparse.Namespace) -> int:
     return 0 if n else 1
 
 
+#: bench reference engine: every other engine's speedup is against it
+_BENCH_BASELINE = "interpreted"
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
-    """Both engines over the same matrix; assert bit-identity, report."""
+    """Every engine over the same matrix; assert bit-identity, report.
+
+    Columns are derived from ``ENGINE_NAMES`` — a new engine shows up
+    here (``<engine>_seconds`` / ``<engine>_speedup`` vs the
+    interpreted baseline) without any CLI edits.
+    """
     base = _spec_from_args(args)
     designs = _parse_csv(args.designs) or [base.design]
     rows = []
@@ -362,26 +371,33 @@ def cmd_bench(args: argparse.Namespace) -> int:
         for engine in ENGINE_NAMES:
             spec = base.replaced(design=design, engine=engine)
             per_engine[engine] = run_spec(spec)
-        interp, comp = per_engine["interpreted"], per_engine["compiled"]
-        identical = (
-            interp.trajectory_key() == comp.trajectory_key()
-            and interp.candidates == comp.candidates
+        ref = per_engine[_BENCH_BASELINE]
+        identical = all(
+            r.trajectory_key() == ref.trajectory_key()
+            and r.candidates == ref.candidates
+            for r in per_engine.values()
         )
         ok = ok and identical
-        loc_i, loc_c = interp.localization_seconds, comp.localization_seconds
-        speedup = loc_i / loc_c if loc_c > 0 else float("inf")
-        rows.append({
+        loc_base = ref.localization_seconds
+        row = {
             "design": design,
             "identical_results": identical,
-            "interpreted_seconds": round(loc_i, 6),
-            "compiled_seconds": round(loc_c, 6),
-            "localization_speedup": round(speedup, 3),
-            "n_probes": comp.n_probes,
-        })
+            "n_probes": ref.n_probes,
+        }
+        parts = []
+        for engine in ENGINE_NAMES:
+            loc = per_engine[engine].localization_seconds
+            row[f"{engine}_seconds"] = round(loc, 6)
+            if engine == _BENCH_BASELINE:
+                parts.append(f"{engine} {loc:.3f}s")
+            else:
+                speedup = loc_base / loc if loc > 0 else float("inf")
+                row[f"{engine}_speedup"] = round(speedup, 3)
+                parts.append(f"{engine} {loc:.3f}s ({speedup:.1f}x)")
+        rows.append(row)
         print(
-            f"{design:<10} localization {loc_i:8.3f}s -> {loc_c:8.3f}s "
-            f"({speedup:5.1f}x) over {comp.n_probes} probes, "
-            f"identical={identical}",
+            f"{design:<10} localization {' | '.join(parts)} "
+            f"over {ref.n_probes} probes, identical={identical}",
             file=sys.stderr if args.json == "-" else sys.stdout,
         )
     if args.json:

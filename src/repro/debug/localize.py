@@ -26,8 +26,14 @@ upstream error might be masked there.  Wide pattern words (default 64)
 make that unlikely; the debug session re-runs localization if the fix
 verdict disagrees.
 
-Two engines drive the loop (bit-identical verdicts and candidates):
+Three engines drive the loop (bit-identical verdicts and candidates):
 
+* ``engine="codegen"`` — the compiled path below, plus the probe
+  re-emulation runs a **cone-sliced kernel**: only the sequential
+  fanin slice of the observed probe output is compiled (straight-line
+  exec'd source, :mod:`repro.netlist.codegen`) and replayed, instead
+  of the whole tape, which is where the emulate phase's wall-clock
+  goes on the large designs;
 * ``engine="compiled"`` — one shared instruction-tape kernel
   (:mod:`repro.netlist.compiled`) is kept current across probe commits
   via incremental recompile, and a :class:`~repro.netlist.cones.ConeIndex`
@@ -122,6 +128,11 @@ class ConeLocalizer:
     net-history computation (golden model and stimulus never change
     between rounds).
     """
+
+    #: codegen probe verdicts replay the fanin slice of the observed
+    #: port instead of the full design; the perf benchmark flips this
+    #: off to price the slicing against full-tape replay
+    use_cone_slicing = True
 
     def __init__(
         self,
@@ -277,7 +288,7 @@ class ConeLocalizer:
         netlist = self.strategy.packed.netlist
         t0 = time.perf_counter()
         ops: _CandidateOps
-        if self.engine == "compiled":
+        if self.engine in ("compiled", "codegen"):
             ops = _BitsetCandidateOps(self, netlist)
         else:
             ops = _SetCandidateOps(self, netlist)
@@ -340,7 +351,7 @@ class ConeLocalizer:
                     emulator = Emulator(
                         self.strategy.layout, engine=self.engine
                     )
-                    if self.engine == "compiled":
+                    if self.engine in ("compiled", "codegen"):
                         # sync the shared kernel incrementally rather
                         # than letting first use pay a full recompile
                         emulator.refresh(changes=changes)
@@ -448,13 +459,40 @@ class ConeLocalizer:
         self, emulator: Emulator, probe_net: str, obs_name: str
     ) -> bool:
         """Emulate and compare the probe output to the golden net value."""
-        emulator.reset(self.n_patterns)
         probe_port = f"obs_probe_{obs_name}"
+        if self.engine == "codegen" and self.use_cone_slicing:
+            # cone-sliced probe round: replay only the sequential fanin
+            # slice of the observed output — bit-identical verdict (the
+            # slice is fanin-closed), a fraction of the evaluation
+            runner = emulator.cone_runner((probe_port,))
+            if runner is not None:
+                return self._sliced_probe_disagrees(
+                    runner, probe_net, probe_port
+                )
+        emulator.reset(self.n_patterns)
         for cycle, cycle_in in enumerate(self.stimulus):
             inputs = {
                 name: cycle_in.get(name, 0) for name in self._input_names
             }
             outputs = emulator.step(inputs, self.n_patterns)
+            probe_value = outputs.get(probe_port)
+            golden_value = self._golden_nets[cycle].get(probe_net)
+            if probe_value is None or golden_value is None:
+                continue
+            if probe_value != golden_value:
+                return True
+        return False
+
+    def _sliced_probe_disagrees(
+        self, runner, probe_net: str, probe_port: str
+    ) -> bool:
+        """Cone-sliced twin of :meth:`_probe_disagrees` (same verdict)."""
+        runner.reset(self.n_patterns)
+        for cycle, cycle_in in enumerate(self.stimulus):
+            inputs = {
+                name: cycle_in.get(name, 0) for name in self._input_names
+            }
+            outputs = runner.step(inputs, self.n_patterns)
             probe_value = outputs.get(probe_port)
             golden_value = self._golden_nets[cycle].get(probe_net)
             if probe_value is None or golden_value is None:

@@ -54,6 +54,7 @@ from weakref import WeakKeyDictionary
 from repro.errors import NetlistError
 from repro.netlist.cells import CellKind
 from repro.netlist.core import Instance, Netlist, port_name
+from repro.obs.metrics import METRICS
 
 # ----------------------------------------------------------------------
 # opcodes
@@ -192,6 +193,9 @@ class CompiledKernel:
     emulator, sequential simulator and localizer.
     """
 
+    #: metric label distinguishing this kernel from subclasses
+    engine_name = "compiled"
+
     def __init__(self, netlist: Netlist) -> None:
         self.netlist = netlist
         #: diagnostics: full lowerings / incremental re-lowerings done
@@ -221,6 +225,8 @@ class CompiledKernel:
         self._rebuild_tape()
         self._revision = nl.revision
         self.compile_count += 1
+        METRICS.inc("repro_kernel_compiles_total",
+                    engine=self.engine_name, kind="full")
 
     def _slot(self, net_name: str) -> int:
         slot = self._slot_of_net.get(net_name)
@@ -357,6 +363,8 @@ class CompiledKernel:
         self._rebuild_tape()
         self._revision = nl.revision
         self.incremental_count += 1
+        METRICS.inc("repro_kernel_compiles_total",
+                    engine=self.engine_name, kind="incremental")
 
     def _region_topo(self, region: set[str]) -> list[Instance]:
         """Topological order of the region's combinational instances."""
@@ -418,9 +426,17 @@ class CompiledKernel:
             else:
                 word &= mask
             v[slot_q] = word
+        self._replay(v, mask)
+        return v
+
+    def _replay(self, v: list[int], mask: int) -> None:
+        """Evaluate the lowered combinational logic in place.
+
+        The codegen subclass overrides this with one straight-line
+        generated function call; here it is the tape replay loop.
+        """
         for fn, s, d in self._tape:
             v[d] = fn(v, s, mask)
-        return v
 
     def run(
         self,

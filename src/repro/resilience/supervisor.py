@@ -37,11 +37,18 @@ import threading
 import time
 from collections import deque
 
-from repro.api.result import RunResult
-from repro.api.spec import RunSpec
+from typing import TYPE_CHECKING
+
 from repro.obs.metrics import METRICS
 from repro.resilience.chaos import WORKER_ENV
 from repro.resilience.failure import WORKER_STAGE, RunFailure
+
+if TYPE_CHECKING:  # runtime import is deferred: repro.api imports the
+    # pipeline, which imports modules that need repro.resilience —
+    # pulling it in at module scope would make ``import repro.debug``
+    # (or any other mid-graph entry) a circular-import landmine
+    from repro.api.result import RunResult
+    from repro.api.spec import RunSpec
 
 #: default seconds between child heartbeat events on stdout; the parent
 #: may override per run (``heartbeat_interval_s``) — the value rides to
@@ -185,6 +192,8 @@ def run_supervised(
     request JSON so both sides agree, and the caller is responsible for
     keeping ``heartbeat_timeout_s`` comfortably above it.
     """
+    from repro.api.result import RunResult
+
     t0 = time.perf_counter()
     ceiling = hard_timeout_for(spec, hard_timeout_s)
     proc = subprocess.Popen(
@@ -345,6 +354,7 @@ heartbeat_loop = _heartbeat_loop
 def worker_main() -> int:
     """Child entry point: one spec in on stdin, one result out on stdout."""
     from repro.api.pipeline import run_spec
+    from repro.api.spec import RunSpec
 
     lock = threading.Lock()
     stop = threading.Event()

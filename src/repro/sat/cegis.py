@@ -36,6 +36,7 @@ back-annotation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from weakref import WeakKeyDictionary
 
 from repro.debug.detect import Mismatch, compare_runs
 from repro.netlist.cells import CellKind
@@ -69,6 +70,52 @@ class TableSynthesis:
     @property
     def succeeded(self) -> bool:
         return self.table is not None
+
+
+#: per-golden memo of replay outputs; ``synthesize_lut_fix`` retries
+#: many candidate groups against one (golden, stimulus) pair, and the
+#: golden replay is identical across all of them
+_GOLDEN_REPLAYS: "WeakKeyDictionary[Netlist, dict]" = WeakKeyDictionary()
+_GOLDEN_REPLAY_LIMIT = 8
+
+
+def _stimulus_key(stimulus: list[dict[str, int]]) -> tuple:
+    """Hashable identity of a stimulus (cycle-ordered sorted items)."""
+    return tuple(
+        tuple(sorted(cycle.items())) for cycle in stimulus
+    )
+
+
+def _golden_replay(
+    golden: Netlist,
+    stimulus: list[dict[str, int]],
+    n_patterns: int,
+    engine: str,
+) -> list[dict[str, int]]:
+    """Memoized ``replay_outputs(golden, ...)`` — keyed per golden
+    object by (revision, stimulus identity, n_patterns).
+
+    The engine is excluded from the key on purpose: all engines are
+    bit-identical, so a memo hit returns exactly what a fresh replay
+    under any engine would.  The revision guard invalidates if a future
+    code path ever mutates the shared golden.
+    """
+    from repro.netlist.simulate import replay_outputs
+
+    per_golden = _GOLDEN_REPLAYS.get(golden)
+    if per_golden is None:
+        per_golden = _GOLDEN_REPLAYS[golden] = {}
+    key = (golden.revision, _stimulus_key(stimulus), n_patterns)
+    cached = per_golden.get(key)
+    if cached is not None:
+        METRICS.inc("repro_cegis_golden_replay_hits_total")
+        return cached
+    METRICS.inc("repro_cegis_golden_replay_misses_total")
+    outputs = replay_outputs(golden, stimulus, n_patterns, engine=engine)
+    if len(per_golden) >= _GOLDEN_REPLAY_LIMIT:
+        per_golden.clear()
+    per_golden[key] = outputs
+    return outputs
 
 
 def _first_failure(mismatches: list[Mismatch]) -> tuple[int, str, int]:
@@ -142,9 +189,7 @@ def synthesize_tables(
     if not mismatches:
         raise SatError("every mismatch lies on an ignored output")
 
-    from repro.netlist.simulate import replay_outputs
-
-    golden_out = replay_outputs(golden, stimulus, n_patterns, engine=engine)
+    golden_out = _golden_replay(golden, stimulus, n_patterns, engine)
     gb = GateBuilder(CNF())
     table_map: dict[str, list[int]] = {}
     all_vars: list[int] = []

@@ -1,10 +1,13 @@
-"""Compiled vs interpreted engine equivalence (property-based).
+"""Three-engine equivalence (property-based).
 
-The compiled instruction-tape kernel must be bit-exact against the
-interpreted reference on outputs, probe words and next-FF-state — for
-randomized designs, before and after ECO edits (error injection,
-observation-point insertion, control points, correction), and whether
-the edits reach the kernel incrementally or force a full recompile.
+The compiled instruction-tape kernel and the codegen straight-line
+kernel must both be bit-exact against the interpreted reference on
+outputs, probe words and next-FF-state — for randomized designs,
+across error kinds and stimulus seeds, before and after ECO edits
+(error injection, observation-point insertion, control points,
+correction), and whether the edits reach the kernel incrementally or
+force a full recompile.  The codegen engine's cone-sliced probe
+runners must agree with full replay on the sliced ports.
 """
 
 from hypothesis import assume, given, settings, strategies as st
@@ -14,10 +17,16 @@ from repro.debug.instrument import add_control_point, add_observation_point
 from repro.errors import DebugFlowError
 from repro.generators.random_logic import random_sequential_netlist
 from repro.netlist import CombinationalSimulator, CompiledKernel, initial_state
-from repro.netlist.simulate import SequentialSimulator
+from repro.netlist.codegen import CodegenKernel
+from repro.netlist.simulate import SequentialSimulator, replay_outputs
 from repro.rng import make_rng
 from repro.synth import map_to_luts
 from repro.tiling.eco import ChangeRecorder
+
+#: both lowered kernels; every kernel test runs against each
+KERNEL_CLASSES = (CompiledKernel, CodegenKernel)
+
+ALL_ENGINES = ("interpreted", "compiled", "codegen")
 
 
 def _random_design(seed: int, mapped: bool):
@@ -27,13 +36,15 @@ def _random_design(seed: int, mapped: bool):
     return map_to_luts(netlist) if mapped else netlist
 
 
+def _input_names(netlist):
+    return {pi.name.split(":", 1)[-1] for pi in netlist.primary_inputs()}
+
+
 def _assert_equivalent(netlist, kernel, seed, n_patterns=64, n_cycles=3):
     """Outputs, probe words and FF next-state agree for a few cycles."""
     interp = CombinationalSimulator(netlist)
     rng = make_rng(seed, "eq-stim")
-    names = {
-        pi.name.split(":", 1)[-1] for pi in netlist.primary_inputs()
-    }
+    names = _input_names(netlist)
     state = initial_state(netlist, n_patterns)
     for _ in range(n_cycles):
         inputs = {n: rng.getrandbits(n_patterns) for n in names}
@@ -51,18 +62,44 @@ def _assert_equivalent(netlist, kernel, seed, n_patterns=64, n_cycles=3):
 @settings(max_examples=15, deadline=None)
 def test_engines_agree_on_random_designs(seed, mapped):
     netlist = _random_design(seed, mapped)
-    _assert_equivalent(netlist, CompiledKernel(netlist), seed)
+    for kernel_cls in KERNEL_CLASSES:
+        _assert_equivalent(netlist, kernel_cls(netlist), seed)
 
 
 @given(
     seed=st.integers(0, 5_000),
     kind=st.sampled_from(ERROR_KINDS),
+    stim_seed=st.integers(0, 1_000),
+)
+@settings(max_examples=12, deadline=None)
+def test_three_engine_replay_identity(seed, kind, stim_seed):
+    """interpreted vs compiled vs codegen over designs × errors × stimuli."""
+    netlist = _random_design(seed, mapped=True)
+    try:
+        inject_error(netlist, kind, seed=seed)
+    except DebugFlowError:
+        assume(False)  # e.g. only symmetric LUTs for input_swap
+    rng = make_rng(stim_seed, "tri-stim")
+    names = _input_names(netlist)
+    stim = [
+        {n: rng.getrandbits(48) for n in names} for _ in range(4)
+    ]
+    replays = [
+        replay_outputs(netlist, stim, 48, engine=e) for e in ALL_ENGINES
+    ]
+    assert replays[0] == replays[1] == replays[2]
+
+
+@given(
+    seed=st.integers(0, 5_000),
+    kind=st.sampled_from(ERROR_KINDS),
+    kernel_cls=st.sampled_from(KERNEL_CLASSES),
 )
 @settings(max_examples=15, deadline=None)
-def test_engines_agree_across_eco_edits(seed, kind):
+def test_engines_agree_across_eco_edits(seed, kind, kernel_cls):
     """Inject → observe → control → correct, applied incrementally."""
     netlist = _random_design(seed, mapped=True)
-    kernel = CompiledKernel(netlist)
+    kernel = kernel_cls(netlist)
     _assert_equivalent(netlist, kernel, seed)
 
     with ChangeRecorder(netlist, "inject") as rec:
@@ -96,20 +133,21 @@ def test_engines_agree_across_eco_edits(seed, kind):
     assert kernel.incremental_count == 4
 
 
-@given(seed=st.integers(0, 5_000))
+@given(
+    seed=st.integers(0, 5_000),
+    kernel_cls=st.sampled_from(KERNEL_CLASSES),
+)
 @settings(max_examples=10, deadline=None)
-def test_incremental_matches_full_recompile(seed):
-    """The incrementally patched tape equals a from-scratch lowering."""
+def test_incremental_matches_full_recompile(seed, kernel_cls):
+    """The incrementally patched kernel equals a from-scratch lowering."""
     netlist = _random_design(seed, mapped=True)
-    kernel = CompiledKernel(netlist)
+    kernel = kernel_cls(netlist)
     with ChangeRecorder(netlist, "inject") as rec:
         inject_error(netlist, "table_bit", seed=seed)
     kernel.apply_changeset(rec.changes)
-    fresh = CompiledKernel(netlist)
+    fresh = kernel_cls(netlist)
     rng = make_rng(seed, "ifull")
-    names = {
-        pi.name.split(":", 1)[-1] for pi in netlist.primary_inputs()
-    }
+    names = _input_names(netlist)
     inputs = {n: rng.getrandbits(64) for n in names}
     state = initial_state(netlist, 64)
     assert kernel.probe(inputs, 64, state) == fresh.probe(inputs, 64, state)
@@ -118,30 +156,55 @@ def test_incremental_matches_full_recompile(seed):
     )
 
 
-@given(seed=st.integers(0, 5_000))
+@given(
+    seed=st.integers(0, 5_000),
+    kernel_cls=st.sampled_from(KERNEL_CLASSES),
+)
 @settings(max_examples=8, deadline=None)
-def test_untracked_mutations_trigger_full_recompile(seed):
+def test_untracked_mutations_trigger_full_recompile(seed, kernel_cls):
     """Edits made without a changeset are caught by the revision check."""
     netlist = _random_design(seed, mapped=True)
-    kernel = CompiledKernel(netlist)
+    kernel = kernel_cls(netlist)
     inject_error(netlist, "output_invert", seed=seed)
     # no apply_changeset: next use must notice the revision bump
     _assert_equivalent(netlist, kernel, seed)
     assert kernel.compile_count == 2
 
 
-@given(seed=st.integers(0, 5_000), engine=st.sampled_from(
-    ["compiled", "interpreted"]
-))
+@given(seed=st.integers(0, 5_000))
+@settings(max_examples=8, deadline=None)
+def test_cone_runner_matches_full_replay(seed):
+    """A cone-sliced probe runner reproduces full-replay port values."""
+    netlist = _random_design(seed, mapped=True)
+    inject_error(netlist, "table_bit", seed=seed)
+    watch = netlist.primary_outputs()[0].inputs[0].name
+    add_observation_point(netlist, [watch], "cr", sticky=False)
+    kernel = CodegenKernel(netlist)
+    port = "obs_probe_cr"
+    runner = kernel.cone_runner((port,))
+    assert runner is not None
+    full = SequentialSimulator(netlist, engine="interpreted")
+    rng = make_rng(seed, "cone-stim")
+    names = _input_names(netlist)
+    full.reset(32)
+    runner.reset(32)
+    for _ in range(5):
+        inputs = {n: rng.getrandbits(32) for n in names}
+        out_full = full.step(inputs, 32)
+        out_slice = runner.step(inputs, 32)
+        assert out_slice[port] == out_full[port]
+    # the same (revision, observed-set) request reuses the memo entry
+    assert kernel.cone_runner((port,)) is runner
+
+
+@given(seed=st.integers(0, 5_000), engine=st.sampled_from(ALL_ENGINES))
 @settings(max_examples=8, deadline=None)
 def test_sequential_simulator_engines_agree(seed, engine):
     netlist = _random_design(seed, mapped=False)
     ref = SequentialSimulator(netlist, engine="interpreted")
     dut = SequentialSimulator(netlist, engine=engine)
     rng = make_rng(seed, "seq")
-    names = {
-        pi.name.split(":", 1)[-1] for pi in netlist.primary_inputs()
-    }
+    names = _input_names(netlist)
     ref.reset(32)
     dut.reset(32)
     for _ in range(4):
